@@ -1,0 +1,43 @@
+"""Fig. 5: share of GNN preprocessing in end-to-end service latency."""
+
+from repro.graph.datasets import DATASET_ORDER
+from repro.system.service import GNNService
+from repro.baselines.gpu import GPUPreprocessingSystem
+
+from common import all_workloads, print_figure, run_once
+
+
+def reproduce_fig5():
+    """Preprocessing vs inference share per dataset (GPU-accelerated DGL)."""
+    service = GNNService(GPUPreprocessingSystem())
+    rows = []
+    shares = []
+    for key, workload in all_workloads().items():
+        report = service.serve(workload)
+        share = report.preprocessing_share
+        shares.append(share)
+        rows.append(
+            [
+                key,
+                round(100 * share, 1),
+                round(100 * (1 - share), 1),
+                round(report.total_seconds * 1e3, 2),
+            ]
+        )
+    rows.append(["avg", round(100 * sum(shares) / len(shares), 1), "", ""])
+    return rows
+
+
+def test_fig05_preprocessing_share(benchmark):
+    rows = run_once(benchmark, reproduce_fig5)
+    print_figure(
+        "Fig. 5: GNN preprocessing overhead (GPU baseline; paper avg ~70%, up to ~90%)",
+        ["dataset", "preprocess_%", "inference_%", "total_ms"],
+        rows,
+    )
+    shares = {row[0]: row[1] for row in rows[:-1]}
+    # Preprocessing dominates and its share grows with graph size.
+    assert shares["TB"] > shares["PH"]
+    assert all(share > 50.0 for share in shares.values())
+    avg = rows[-1][1]
+    assert 60.0 <= avg <= 95.0

@@ -1,0 +1,43 @@
+"""Fig. 6: breakdown of GNN preprocessing latency into its four tasks."""
+
+from repro.analysis.metrics import breakdown_percentages
+from repro.baselines.calibration import GPU_CALIBRATION
+from repro.baselines.cpu import software_task_latencies
+from repro.graph.datasets import DATASETS, size_class
+
+from common import all_workloads, print_figure, run_once
+
+
+def reproduce_fig6():
+    """Per-task percentage of GPU preprocessing latency for each dataset."""
+    rows = []
+    for key, workload in all_workloads().items():
+        latencies = software_task_latencies(workload, GPU_CALIBRATION)
+        pct = breakdown_percentages(latencies.as_dict())
+        rows.append(
+            [
+                key,
+                size_class(DATASETS[key]),
+                round(pct["ordering"], 1),
+                round(pct["reshaping"], 1),
+                round(pct["selecting"], 1),
+                round(pct["reindexing"], 1),
+            ]
+        )
+    return rows
+
+
+def test_fig06_preprocessing_breakdown(benchmark):
+    rows = run_once(benchmark, reproduce_fig6)
+    print_figure(
+        "Fig. 6: GPU preprocessing breakdown (paper: sampling dominates small graphs,"
+        " conversion dominates >10M-edge graphs)",
+        ["dataset", "size", "ordering_%", "reshaping_%", "selecting_%", "reindexing_%"],
+        rows,
+    )
+    by_key = {row[0]: row for row in rows}
+    # Small graphs: selection + reindexing dominate.
+    assert by_key["PH"][4] + by_key["PH"][5] > by_key["PH"][2] + by_key["PH"][3]
+    # Large graphs: conversion (ordering + reshaping) dominates, led by reshaping.
+    assert by_key["AM"][2] + by_key["AM"][3] > by_key["AM"][4] + by_key["AM"][5]
+    assert by_key["AM"][3] > by_key["AM"][2]

@@ -1,0 +1,64 @@
+"""Fig. 7: latency breakdown of dynamic graphs (SO, TB) as they grow over time."""
+
+from repro.analysis.metrics import breakdown_percentages
+from repro.baselines.calibration import GPU_CALIBRATION
+from repro.baselines.cpu import software_task_latencies
+from repro.baselines.gpu import GPUPreprocessingSystem
+from repro.gnn.inference import InferenceLatencyModel
+from repro.graph.dynamic import DAILY_GROWTH_RATE
+from repro.system.workload import WorkloadProfile
+
+from common import print_figure, run_once
+
+#: Days simulated and sampling interval (the paper plots ~2000 days).
+HORIZON_DAYS = 2000
+STEP_DAYS = 250
+
+
+def reproduce_fig7(dataset: str):
+    """Component share of end-to-end service time as the graph grows daily."""
+    base = WorkloadProfile.from_dataset(dataset)
+    growth = DAILY_GROWTH_RATE[dataset]
+    inference_model = InferenceLatencyModel()
+    rows = []
+    for day in range(0, HORIZON_DAYS + 1, STEP_DAYS):
+        scale = (1.0 + growth) ** day
+        workload = base.scaled_edges(scale)
+        tasks = software_task_latencies(workload, GPU_CALIBRATION)
+        inference = inference_model.latency_from_counts(
+            workload.sampled_nodes, workload.sampled_edges,
+            hidden_dim=workload.feature_dim, num_layers=workload.num_layers,
+        )
+        components = dict(tasks.as_dict())
+        components["inference"] = inference
+        pct = breakdown_percentages(components)
+        rows.append(
+            [
+                day,
+                round(pct["ordering"], 1),
+                round(pct["reshaping"], 1),
+                round(pct["selecting"], 1),
+                round(pct["reindexing"], 1),
+                round(pct["inference"], 1),
+            ]
+        )
+    return rows
+
+
+def test_fig07_dynamic_breakdown(benchmark):
+    def run():
+        return {ds: reproduce_fig7(ds) for ds in ("SO", "TB")}
+
+    results = run_once(benchmark, run)
+    for dataset, rows in results.items():
+        print_figure(
+            f"Fig. 7 ({dataset}): service-time breakdown over days of graph growth",
+            ["day", "ordering_%", "reshaping_%", "selecting_%", "reindexing_%", "inference_%"],
+            rows,
+        )
+    for dataset, rows in results.items():
+        first, last = rows[0], rows[-1]
+        # Reshaping's share rises as the graph grows, selection's share falls
+        # (it is bounded by the fixed k), matching the paper's crossover.
+        assert last[2] > first[2]
+        assert last[4] <= first[4]

@@ -1,0 +1,60 @@
+"""Fig. 18: end-to-end GNN inference latency of all seven compared systems."""
+
+from repro.analysis.metrics import geometric_mean
+from repro.graph.datasets import DATASET_ORDER
+from repro.system.service import build_services
+
+from common import all_workloads, print_figure, run_once
+
+SYSTEMS = ["CPU", "GPU", "GSamp", "FPGA", "AutoPre", "StatPre", "DynPre"]
+
+
+def reproduce_fig18():
+    """Per-dataset end-to-end latency normalised to GPU plus speedups over CPU."""
+    services = build_services()
+    workloads = all_workloads()
+    rows = []
+    speedups = {name: [] for name in SYSTEMS}
+    bandwidth = []
+    for key, workload in workloads.items():
+        reports = {}
+        for name in SYSTEMS:
+            services[name].serve(workload)  # warm-up (DynPre reconfigures here)
+            reports[name] = services[name].serve(workload)
+        gpu = reports["GPU"].total_seconds
+        cpu = reports["CPU"].total_seconds
+        row = [key]
+        for name in SYSTEMS:
+            total = reports[name].total_seconds
+            row.append(round(total / gpu, 3))
+            speedups[name].append(cpu / total)
+        row.append(round(100 * reports["DynPre"].system_latency.bandwidth_utilization, 1))
+        rows.append(row)
+        bandwidth.append(reports["DynPre"].system_latency.bandwidth_utilization)
+    summary = ["geomean speedup vs CPU"]
+    for name in SYSTEMS:
+        summary.append(round(geometric_mean(speedups[name]), 2))
+    summary.append(round(100 * sum(bandwidth) / len(bandwidth), 1))
+    rows.append(summary)
+    return rows
+
+
+def test_fig18_end_to_end_latency(benchmark):
+    rows = run_once(benchmark, reproduce_fig18)
+    print_figure(
+        "Fig. 18: end-to-end latency normalised to GPU (paper speedups over CPU:"
+        " GPU 3.4x, GSamp 4.1x, FPGA 4.5x, AutoPre 7.3x, StatPre 8.4x, DynPre 9.0x;"
+        " DynPre bandwidth utilisation 59.8% avg)",
+        ["dataset"] + [f"{s}/GPU" for s in SYSTEMS] + ["DynPre_bw_%"],
+        rows,
+    )
+    summary = rows[-1]
+    speedups = dict(zip(SYSTEMS, summary[1:-1]))
+    # Ordering of the systems matches the paper: every acceleration step helps.
+    assert speedups["GPU"] > 1.0
+    assert speedups["GSamp"] > speedups["GPU"]
+    assert speedups["AutoPre"] > speedups["FPGA"]
+    assert speedups["DynPre"] >= speedups["StatPre"] >= speedups["AutoPre"] * 0.999
+    # Magnitudes land in the paper's neighbourhood.
+    assert 2.0 <= speedups["GPU"] <= 5.5
+    assert 6.0 <= speedups["DynPre"] <= 20.0

@@ -1,0 +1,45 @@
+"""Fig. 19: power draw and end-to-end energy, AutoGNN vs GPU."""
+
+from repro.system.power import FPGA_PREPROCESS_WATTS, GPU_PREPROCESS_WATTS, power_ratio
+from repro.system.service import build_services
+
+from common import all_workloads, print_figure, run_once
+
+
+def reproduce_fig19():
+    """Preprocessing power and per-pass energy for GPU and DynPre."""
+    services = build_services()
+    rows = []
+    ratios = []
+    for key, workload in all_workloads().items():
+        gpu = services["GPU"].serve(workload)
+        services["DynPre"].serve(workload)
+        dyn = services["DynPre"].serve(workload)
+        ratio = gpu.energy.total_joules / dyn.energy.total_joules
+        ratios.append(ratio)
+        rows.append(
+            [
+                key,
+                round(gpu.energy.preprocessing_watts, 1),
+                round(dyn.energy.preprocessing_watts, 1),
+                round(gpu.energy.total_joules, 2),
+                round(dyn.energy.total_joules, 2),
+                round(ratio, 2),
+            ]
+        )
+    rows.append(["avg", "", "", "", "", round(sum(ratios) / len(ratios), 2)])
+    return rows
+
+
+def test_fig19_power_and_energy(benchmark):
+    rows = run_once(benchmark, reproduce_fig19)
+    print_figure(
+        "Fig. 19: power and energy (paper: 19.7x lower preprocessing power,"
+        " 3.3x lower end-to-end energy)",
+        ["dataset", "GPU_W", "AutoGNN_W", "GPU_J", "DynPre_J", "energy_ratio"],
+        rows,
+    )
+    assert power_ratio() > 15.0
+    assert GPU_PREPROCESS_WATTS / FPGA_PREPROCESS_WATTS > 15.0
+    avg_ratio = rows[-1][-1]
+    assert 1.5 <= avg_ratio <= 15.0

@@ -1,0 +1,58 @@
+"""Fig. 20: data-transfer overhead of GPU, FPGA-sampler and AutoPre."""
+
+from repro.baselines.fpga_sampler import FPGASamplerSystem
+from repro.baselines.gpu import GPUPreprocessingSystem
+from repro.system.variants import AutoPreSystem
+
+from common import all_workloads, print_figure, run_once
+
+
+def reproduce_fig20():
+    """Average transfer latency per pass for the three systems."""
+    systems = {
+        "GPU": GPUPreprocessingSystem(),
+        "FPGA": FPGASamplerSystem(),
+        "AutoPre": AutoPreSystem(),
+    }
+    rows = []
+    sums = {name: 0.0 for name in systems}
+    workloads = all_workloads()
+    for key, workload in workloads.items():
+        row = [key]
+        for name, system in systems.items():
+            transfer = system.evaluate(workload).transfers.total
+            sums[name] += transfer
+            row.append(round(transfer * 1e3, 3))
+        rows.append(row)
+    n = len(workloads)
+    averages = {name: sums[name] / n for name in systems}
+    rows.append(
+        [
+            "avg",
+            round(averages["GPU"] * 1e3, 3),
+            round(averages["FPGA"] * 1e3, 3),
+            round(averages["AutoPre"] * 1e3, 3),
+        ]
+    )
+    rows.append(
+        [
+            "reduction vs AutoPre",
+            round(averages["GPU"] / averages["AutoPre"], 1),
+            round(averages["FPGA"] / averages["AutoPre"], 1),
+            1.0,
+        ]
+    )
+    return rows
+
+
+def test_fig20_transfer_overhead(benchmark):
+    rows = run_once(benchmark, reproduce_fig20)
+    print_figure(
+        "Fig. 20: transfer overhead in ms (paper: AutoPre cuts transfers by 13.6x vs GPU"
+        " and 20x vs FPGA)",
+        ["dataset", "GPU_ms", "FPGA_ms", "AutoPre_ms"],
+        rows,
+    )
+    reduction_vs_gpu, reduction_vs_fpga = rows[-1][1], rows[-1][2]
+    assert reduction_vs_gpu > 3.0
+    assert reduction_vs_fpga > reduction_vs_gpu

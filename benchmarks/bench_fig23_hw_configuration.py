@@ -1,0 +1,81 @@
+"""Fig. 23: finding the optimal hardware configuration (SCR and UPE sweeps)."""
+
+import math
+
+from repro.core.config import HardwareConfig, LUTS_PER_UPE_ELEMENT, scaled_default_config
+from repro.core.cost_model import CostModel
+from repro.core.kernels import reshaping_cycle_estimate
+from repro.system.workload import WorkloadProfile
+
+from common import print_figure, print_series, run_once
+
+SCR_WIDTHS = [1, 4, 16, 64, 256, 1024]
+SCR_SLOTS = [1, 2, 4, 8]
+UPE_WIDTHS = [16, 32, 64, 128, 256, 512]
+
+
+def scr_slot_utilization(workload, width: int, slots: int) -> float:
+    """Fraction of cycles in which the SCR slots stream a fresh edge segment."""
+    config = HardwareConfig(num_upes=1, upe_width=64, num_scrs=slots, scr_width=width)
+    cycles = reshaping_cycle_estimate(workload.num_edges, workload.num_nodes, config)
+    if cycles <= 0:
+        return 0.0
+    segments = math.ceil(workload.num_edges / width)
+    return min(segments / cycles, 1.0)
+
+
+def reproduce_fig23a(dataset: str = "AX"):
+    """Slot utilisation under varying SCR width and slot count (Fig. 23a)."""
+    workload = WorkloadProfile.from_dataset(dataset)
+    rows = []
+    for width in SCR_WIDTHS:
+        row = [width]
+        for slots in SCR_SLOTS:
+            row.append(round(100 * scr_slot_utilization(workload, width, slots), 1))
+        rows.append(row)
+    return rows
+
+
+def reproduce_fig23b(dataset: str = "AM"):
+    """Ordering/selecting/total cycles under varying UPE width (Fig. 23b).
+
+    The total UPE LUT budget is fixed, so widening each UPE reduces the number
+    of instances, trading merge throughput against selection throughput.
+    """
+    workload = WorkloadProfile.from_dataset(dataset).to_cost_params()
+    model = CostModel()
+    budget = scaled_default_config().upe_region_budget()
+    rows = []
+    for width in UPE_WIDTHS:
+        count = max(budget // (width * LUTS_PER_UPE_ELEMENT), 1)
+        config = HardwareConfig(num_upes=count, upe_width=width)
+        ordering = model.ordering_cycles(workload, config)
+        selecting = model.selecting_cycles(workload, config)
+        rows.append([width, count, int(ordering), int(selecting), int(ordering + selecting)])
+    return rows
+
+
+def test_fig23_optimal_hardware_configuration(benchmark):
+    def run():
+        return reproduce_fig23a("AX"), reproduce_fig23b("AM")
+
+    fig_a, fig_b = run_once(benchmark, run)
+    print_figure(
+        "Fig. 23a (AX): SCR slot utilisation (%) vs width, one column per slot count",
+        ["width"] + [f"{s}_slot" for s in SCR_SLOTS],
+        fig_a,
+    )
+    print_figure(
+        "Fig. 23b (AM): UPE cycles vs width at a fixed LUT budget",
+        ["upe_width", "num_upes", "ordering", "selecting", "total"],
+        fig_b,
+    )
+    # For a low-degree graph like AX, adding SCR slots raises utilisation.
+    for row in fig_a:
+        assert row[-1] >= row[1] - 1e-6
+    # Ordering cycles drop as UPEs widen; selection cycles rise as UPEs become
+    # fewer, so the total has an interior optimum (saturation in the paper).
+    ordering = [row[2] for row in fig_b]
+    selecting = [row[3] for row in fig_b]
+    assert ordering[-1] <= ordering[0]
+    assert selecting[-1] >= selecting[0]

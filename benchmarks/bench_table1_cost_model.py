@@ -1,0 +1,43 @@
+"""Table I: analytic cost functions of the preprocessing tasks."""
+
+from repro.core.config import scaled_default_config
+from repro.core.cost_model import CostModel, WorkloadParams
+from repro.graph.datasets import DATASET_ORDER, DATASETS
+
+from common import print_figure, run_once
+
+
+def reproduce_table1():
+    """Evaluate the Table I cost functions for every dataset on the default HW."""
+    model = CostModel()
+    config = scaled_default_config()
+    rows = []
+    for key in DATASET_ORDER:
+        info = DATASETS[key]
+        workload = WorkloadParams(
+            num_nodes=info.num_nodes, num_edges=info.num_edges, num_layers=2, k=10, batch_size=3000
+        )
+        est = model.estimate(workload, config)
+        rows.append(
+            [
+                key,
+                int(est.ordering_cycles),
+                int(est.selecting_cycles),
+                int(est.reshaping_cycles),
+                int(est.reindexing_cycles),
+                round(est.latency_seconds() * 1e3, 3),
+            ]
+        )
+    return rows
+
+
+def test_table1_cost_functions(benchmark):
+    rows = run_once(benchmark, reproduce_table1)
+    print_figure(
+        "Table I: cost-model cycle estimates (default configuration)",
+        ["dataset", "ordering", "selecting", "reshaping", "reindexing", "latency_ms"],
+        rows,
+    )
+    # Ordering and reshaping estimates grow with edge count across datasets.
+    ordering = {row[0]: row[1] for row in rows}
+    assert ordering["TB"] > ordering["PH"]

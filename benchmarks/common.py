@@ -1,0 +1,66 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module reproduces one table or figure of the paper: it
+computes the same rows or series the paper reports (using the full-scale
+Table II workload parameters through the analytic models, or the functional
+simulator on scaled synthetic graphs where noted), prints them, and times the
+computation through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.report import format_series, format_table
+from repro.graph.datasets import DATASET_ORDER
+from repro.system.service import GNNService, build_services
+from repro.system.workload import WorkloadProfile
+
+#: Directory where every reproduced table/figure is also written as a text
+#: file, so the harness output survives pytest's stdout capture.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _save_result(title: str, text: str) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:80]
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+
+def all_workloads(**kwargs) -> Dict[str, WorkloadProfile]:
+    """Full-scale workload profiles for the 11 Table II datasets."""
+    return {key: WorkloadProfile.from_dataset(key, **kwargs) for key in DATASET_ORDER}
+
+
+def steady_state_report(service: GNNService, workload: WorkloadProfile):
+    """Serve twice and return the second (steady-state) report.
+
+    The first pass lets reconfigurable systems adapt to the workload so that
+    per-dataset comparisons (Fig. 18 style) are not charged the one-off
+    reconfiguration cost; the time-series benchmarks charge it explicitly.
+    """
+    service.serve(workload)
+    return service.serve(workload)
+
+
+def print_figure(title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Format, print, persist and return a figure/table reproduction."""
+    text = format_table(title, columns, rows)
+    print("\n" + text)
+    _save_result(title, text)
+    return text
+
+
+def print_series(title: str, x_label: str, x_values, series: Dict[str, Sequence[float]]) -> str:
+    """Format, print, persist and return an x/y series reproduction."""
+    text = format_series(title, x_label, x_values, series)
+    print("\n" + text)
+    _save_result(title, text)
+    return text
+
+
+def run_once(benchmark, fn: Callable[[], object]):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""Serve a continuously growing social graph with runtime reconfiguration.
+
+Replays an update stream on a StackOverflow-like graph (the SO dataset grows
+by ~0.52 % per day), lets AGNN-lib profile each snapshot, decide whether the
+staged bitstreams should be swapped, and compares the fixed-configuration
+StatPre system against the reconfigurable DynPre system over time — the
+scenario behind Figs. 7, 28 and 30.
+
+Run with:  python examples/dynamic_graph_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.graph import load_dataset
+from repro.graph.dynamic import DAILY_GROWTH_RATE, GraphUpdateStream
+from repro.system import AGNNLib, WorkloadProfile
+from repro.system.service import GNNService
+from repro.system.variants import DynPreSystem, StatPreSystem
+
+DAYS = 10
+PASSES_PER_DAY = 20
+
+
+def main() -> None:
+    base = load_dataset("SO", scale=1 / 5000)
+    print(f"Base graph: {base.num_nodes} nodes, {base.num_edges} edges")
+
+    agnn = AGNNLib()
+    upload_seconds = agnn.upload_graph(base)
+    print(f"Initial upload through DMA-main: {upload_seconds * 1e3:.2f} ms")
+
+    stat = GNNService(StatPreSystem())
+    dyn = GNNService(DynPreSystem())
+
+    stream = GraphUpdateStream(base, growth_rate=DAILY_GROWTH_RATE["SO"] * 50, seed=0)
+    rows = []
+    graph = base
+    for day, batch in enumerate(stream.generate(DAYS)):
+        graph = graph.add_edges(batch.src, batch.dst, num_nodes=graph.num_nodes + batch.new_nodes)
+        incremental = agnn.upload_graph(graph)
+        workload = WorkloadProfile.from_graph(graph, batch_size=256, update_fraction=batch.num_edges / graph.num_edges)
+
+        decision = agnn.evaluate_reconfiguration(workload)
+        stat_total = sum(stat.serve(workload).total_seconds for _ in range(PASSES_PER_DAY))
+        dyn_total = sum(dyn.serve(workload).total_seconds for _ in range(PASSES_PER_DAY))
+        rows.append(
+            [
+                day,
+                graph.num_edges,
+                round(incremental * 1e3, 3),
+                "yes" if decision.reconfigure else "no",
+                round(stat_total * 1e3, 2),
+                round(dyn_total * 1e3, 2),
+            ]
+        )
+
+    print(format_table(
+        f"Serving a growing SO-like graph ({PASSES_PER_DAY} passes per step)",
+        ["step", "edges", "update upload ms", "reconfigure?", "StatPre ms", "DynPre ms"],
+        rows,
+    ))
+    print("\nDynPre adapts the UPE/SCR configuration as the graph grows; the fixed")
+    print("StatPre configuration slowly drifts away from the optimum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Explore the UPE/SCR design space with the cost model and the simulator.
+
+Sweeps the staged bitstream library for three datasets, shows which
+configuration the Table I cost model selects, validates the model against the
+cycle-level simulator on a scaled synthetic graph, and reports the partial
+reconfiguration cost of switching between the chosen configurations — the
+workflow behind Figs. 22-24.
+
+Run with:  python examples/hardware_design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core import (
+    AutoGNNDevice,
+    CostModel,
+    ReconfigurationController,
+    WorkloadParams,
+    generate_bitstream_library,
+)
+from repro.core.config import scaled_default_config
+from repro.graph import load_dataset
+from repro.preprocessing import PreprocessingConfig
+from repro.system import WorkloadProfile
+
+
+def main() -> None:
+    library = generate_bitstream_library()
+    model = CostModel()
+    print(f"Bitstream library: {len(library.upe_variants)} UPE variants, "
+          f"{len(library.scr_variants)} SCR variants "
+          f"({library.total_bytes / (1 << 20):.0f} MB staged in device DRAM)")
+
+    # 1. Which configuration does the cost model pick for each dataset?
+    rows = []
+    chosen = {}
+    for key in ("AX", "SO", "AM"):
+        params = WorkloadProfile.from_dataset(key).to_cost_params()
+        config, estimate = model.best_configuration(params, library.configurations())
+        chosen[key] = config
+        rows.append(
+            [
+                key,
+                f"{config.num_upes}x{config.upe_width}",
+                f"{config.num_scrs}x{config.scr_width}",
+                int(estimate.ordering_cycles),
+                int(estimate.selecting_cycles),
+                int(estimate.reshaping_cycles),
+            ]
+        )
+    print(format_table(
+        "Cost-model choice per dataset (Table I applied to the bitstream library)",
+        ["dataset", "UPE (count x width)", "SCR (slots x width)",
+         "ordering cycles", "selecting cycles", "reshaping cycles"],
+        rows,
+    ))
+
+    # 2. Validate the cost model against the cycle-level simulator (scaled AX).
+    graph = load_dataset("AX", scale=1 / 2000)
+    device = AutoGNNDevice(scaled_default_config())
+    run = device.preprocess(graph, PreprocessingConfig(batch_size=32, k=10, num_layers=2))
+    params = WorkloadParams(
+        num_nodes=graph.num_nodes, num_edges=graph.num_edges, k=10, num_layers=2, batch_size=32
+    )
+    estimate = model.estimate(params, device.config)
+    print("\nCost model vs simulator (scaled AX, default configuration)")
+    for task, simulated in run.timing.breakdown().items():
+        estimated = estimate.breakdown()[task]
+        accuracy = 100 * (1 - abs(simulated - estimated) / max(simulated, 1))
+        print(f"  {task:<12} simulated {simulated:>8d}  estimated {int(estimated):>8d}  "
+              f"accuracy {accuracy:5.1f}%")
+
+    # 3. What does it cost to hop between the chosen configurations?
+    controller = ReconfigurationController(library, chosen["AX"])
+    for key in ("SO", "AM"):
+        event = controller.reconfigure(chosen[key])
+        if event is None:
+            print(f"\nSwitching to the {key} configuration: already loaded")
+        else:
+            print(f"\nSwitching to the {key} configuration reprograms {event.regions} "
+                  f"in {event.latency_seconds * 1e3:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

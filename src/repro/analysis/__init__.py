@@ -1,0 +1,23 @@
+"""Analysis helpers: latency containers, speedups and report formatting."""
+
+from repro.analysis.metrics import (
+    TaskLatencies,
+    EndToEndLatency,
+    speedup,
+    geometric_mean,
+    normalize,
+    breakdown_percentages,
+)
+from repro.analysis.report import format_table, format_series, Table
+
+__all__ = [
+    "TaskLatencies",
+    "EndToEndLatency",
+    "speedup",
+    "geometric_mean",
+    "normalize",
+    "breakdown_percentages",
+    "format_table",
+    "format_series",
+    "Table",
+]

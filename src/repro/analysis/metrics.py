@@ -1,0 +1,131 @@
+"""Latency containers and metric helpers shared across baselines and systems."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+#: Task names in the paper's presentation order.
+TASK_NAMES = ("ordering", "reshaping", "selecting", "reindexing")
+
+
+@dataclass
+class TaskLatencies:
+    """Per-task preprocessing latency in seconds.
+
+    Attributes mirror the paper's four preprocessing tasks.
+    """
+
+    ordering: float = 0.0
+    reshaping: float = 0.0
+    selecting: float = 0.0
+    reindexing: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total preprocessing latency."""
+        return self.ordering + self.reshaping + self.selecting + self.reindexing
+
+    def as_dict(self) -> Dict[str, float]:
+        """Latencies keyed by task name."""
+        return {
+            "ordering": self.ordering,
+            "reshaping": self.reshaping,
+            "selecting": self.selecting,
+            "reindexing": self.reindexing,
+        }
+
+    def scaled(self, factor: float) -> "TaskLatencies":
+        """Return a copy with every task latency multiplied by ``factor``."""
+        return TaskLatencies(
+            ordering=self.ordering * factor,
+            reshaping=self.reshaping * factor,
+            selecting=self.selecting * factor,
+            reindexing=self.reindexing * factor,
+        )
+
+    def __add__(self, other: "TaskLatencies") -> "TaskLatencies":
+        return TaskLatencies(
+            ordering=self.ordering + other.ordering,
+            reshaping=self.reshaping + other.reshaping,
+            selecting=self.selecting + other.selecting,
+            reindexing=self.reindexing + other.reindexing,
+        )
+
+    @classmethod
+    def from_dict(cls, values: Mapping[str, float]) -> "TaskLatencies":
+        """Build from a mapping keyed by task name (missing tasks default to 0)."""
+        return cls(
+            ordering=float(values.get("ordering", 0.0)),
+            reshaping=float(values.get("reshaping", 0.0)),
+            selecting=float(values.get("selecting", 0.0)),
+            reindexing=float(values.get("reindexing", 0.0)),
+        )
+
+
+@dataclass
+class EndToEndLatency:
+    """End-to-end GNN service latency decomposition in seconds.
+
+    Attributes:
+        preprocessing: per-task preprocessing latencies.
+        transfer: host/accelerator/GPU data-movement latency.
+        inference: GNN model execution latency.
+        reconfiguration: FPGA partial-reconfiguration latency (AutoGNN only).
+    """
+
+    preprocessing: TaskLatencies = field(default_factory=TaskLatencies)
+    transfer: float = 0.0
+    inference: float = 0.0
+    reconfiguration: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total service latency."""
+        return self.preprocessing.total + self.transfer + self.inference + self.reconfiguration
+
+    @property
+    def preprocessing_share(self) -> float:
+        """Fraction of the total spent in preprocessing (+ transfers)."""
+        if self.total == 0:
+            return 0.0
+        return (self.preprocessing.total + self.transfer + self.reconfiguration) / self.total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat component dictionary, preprocessing expanded per task."""
+        out = self.preprocessing.as_dict()
+        out["transfer"] = self.transfer
+        out["inference"] = self.inference
+        out["reconfiguration"] = self.reconfiguration
+        return out
+
+
+def speedup(baseline: float, candidate: float) -> float:
+    """Baseline-over-candidate latency ratio (``>1`` means candidate is faster)."""
+    if candidate <= 0:
+        return math.inf
+    return baseline / candidate
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; 0 when the input is empty."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: Sequence[float], reference: float) -> List[float]:
+    """Divide every value by ``reference`` (guarding against zero)."""
+    if reference == 0:
+        return [0.0 for _ in values]
+    return [v / reference for v in values]
+
+
+def breakdown_percentages(components: Mapping[str, float]) -> Dict[str, float]:
+    """Convert a component dictionary to percentages of its sum."""
+    total = sum(components.values())
+    if total <= 0:
+        return {key: 0.0 for key in components}
+    return {key: 100.0 * value / total for key, value in components.items()}

@@ -1,0 +1,10 @@
+"""Compatibility re-export of the shared preprocessing-system interface.
+
+The interface itself lives in :mod:`repro.system.base` so that both the
+software baselines and the AutoGNN variants can implement it without import
+cycles; importing it from here keeps the baseline modules self-contained.
+"""
+
+from repro.system.base import PreprocessingSystem, SystemLatency
+
+__all__ = ["PreprocessingSystem", "SystemLatency"]

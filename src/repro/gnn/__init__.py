@@ -1,0 +1,53 @@
+"""GNN inference substrate.
+
+AutoGNN's contribution is preprocessing, but every end-to-end experiment in
+the paper includes the downstream GNN inference executed on the GPU.  This
+package provides NumPy forward passes for the four models the paper evaluates
+(GraphSAGE, GCN, GAT, GIN), an embedding-table substrate, and an analytic GPU
+inference-latency model so the end-to-end latency splits of Figs. 5, 18 and 25
+have an inference component with the right relative magnitude.
+"""
+
+from repro.gnn.embeddings import EmbeddingTable
+from repro.gnn.layers import (
+    mean_aggregate,
+    sum_aggregate,
+    max_aggregate,
+    LinearTransform,
+    MLPTransform,
+)
+from repro.gnn.models import (
+    GNNModel,
+    GraphSAGE,
+    GCN,
+    GAT,
+    GIN,
+    MODEL_REGISTRY,
+    build_model,
+)
+from repro.gnn.inference import (
+    InferenceEngine,
+    InferenceLatencyModel,
+    InferenceResult,
+    GPU_PEAK_FLOPS,
+)
+
+__all__ = [
+    "EmbeddingTable",
+    "mean_aggregate",
+    "sum_aggregate",
+    "max_aggregate",
+    "LinearTransform",
+    "MLPTransform",
+    "GNNModel",
+    "GraphSAGE",
+    "GCN",
+    "GAT",
+    "GIN",
+    "MODEL_REGISTRY",
+    "build_model",
+    "InferenceEngine",
+    "InferenceLatencyModel",
+    "InferenceResult",
+    "GPU_PEAK_FLOPS",
+]

@@ -1,0 +1,72 @@
+"""Vertex embedding tables.
+
+The embedding table maps every original VID to a feature vector; after
+subgraph reindexing the sampled vertices' rows are gathered into a compact
+table whose row index equals the renumbered VID (Fig. 4b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.reindex import ReindexResult
+
+
+@dataclass
+class EmbeddingTable:
+    """A dense per-vertex feature table.
+
+    Attributes:
+        features: ``(num_nodes, dim)`` float array, row ``v`` is vertex ``v``'s
+            embedding.
+    """
+
+    features: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        if self.features.ndim != 2:
+            raise ValueError("embedding table must be 2-D (num_nodes, dim)")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of rows (vertices)."""
+        return int(self.features.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        return int(self.features.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint in bytes."""
+        return int(self.features.nbytes)
+
+    def lookup(self, vids: np.ndarray) -> np.ndarray:
+        """Gather the rows of the given VIDs."""
+        return self.features[np.asarray(vids, dtype=np.int64)]
+
+    def gather_subgraph(self, reindex: ReindexResult) -> "EmbeddingTable":
+        """Build the reindexed subgraph's embedding table.
+
+        Row ``i`` of the returned table is the embedding of the vertex whose
+        renumbered VID is ``i``.
+        """
+        return EmbeddingTable(features=self.features[reindex.original_vids])
+
+    @classmethod
+    def random(
+        cls, num_nodes: int, dim: int = 128, seed: int = 0, scale: float = 1.0
+    ) -> "EmbeddingTable":
+        """Create a random Gaussian embedding table (synthetic features)."""
+        rng = np.random.default_rng(seed)
+        return cls(features=rng.normal(0.0, scale, size=(num_nodes, dim)))
+
+    @classmethod
+    def zeros(cls, num_nodes: int, dim: int = 128) -> "EmbeddingTable":
+        """Create an all-zero embedding table."""
+        return cls(features=np.zeros((num_nodes, dim)))

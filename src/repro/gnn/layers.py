@@ -1,0 +1,149 @@
+"""Aggregation and transformation building blocks for GNN layers.
+
+A GNN layer aggregates the embeddings of each destination's neighbourhood and
+transforms the aggregate with a small neural network (Section II-A).  These
+helpers operate on CSC subgraphs and NumPy feature matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.graph.csc import CSCGraph
+
+
+def _aggregate(
+    graph: CSCGraph, features: np.ndarray, reducer: Callable[[np.ndarray], np.ndarray]
+) -> np.ndarray:
+    """Apply ``reducer`` over every destination's in-neighbour features."""
+    features = np.asarray(features, dtype=np.float64)
+    out = np.zeros((graph.num_nodes, features.shape[1]), dtype=np.float64)
+    for dst in range(graph.num_nodes):
+        neighbors = graph.in_neighbors(dst)
+        if neighbors.size == 0:
+            continue
+        out[dst] = reducer(features[neighbors])
+    return out
+
+
+def mean_aggregate(graph: CSCGraph, features: np.ndarray) -> np.ndarray:
+    """Mean of each destination's in-neighbour embeddings (GraphSAGE/GCN)."""
+    return _aggregate(graph, features, lambda rows: rows.mean(axis=0))
+
+
+def sum_aggregate(graph: CSCGraph, features: np.ndarray) -> np.ndarray:
+    """Sum of each destination's in-neighbour embeddings (GIN)."""
+    return _aggregate(graph, features, lambda rows: rows.sum(axis=0))
+
+
+def max_aggregate(graph: CSCGraph, features: np.ndarray) -> np.ndarray:
+    """Element-wise max of each destination's in-neighbour embeddings."""
+    return _aggregate(graph, features, lambda rows: rows.max(axis=0))
+
+
+def attention_aggregate(
+    graph: CSCGraph,
+    features: np.ndarray,
+    attn_src: np.ndarray,
+    attn_dst: np.ndarray,
+) -> np.ndarray:
+    """Single-head additive attention aggregation (GAT-style).
+
+    ``attn_src`` and ``attn_dst`` are per-node scalar attention logits; the
+    edge score is ``leaky_relu(attn_src[u] + attn_dst[v])`` softmax-normalised
+    over each destination's neighbourhood.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    out = np.zeros((graph.num_nodes, features.shape[1]), dtype=np.float64)
+    for dst in range(graph.num_nodes):
+        neighbors = graph.in_neighbors(dst)
+        if neighbors.size == 0:
+            continue
+        logits = attn_src[neighbors] + attn_dst[dst]
+        logits = np.where(logits > 0, logits, 0.2 * logits)  # leaky ReLU
+        logits = logits - logits.max()
+        weights = np.exp(logits)
+        weights = weights / weights.sum()
+        out[dst] = (weights[:, None] * features[neighbors]).sum(axis=0)
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+@dataclass
+class LinearTransform:
+    """A single dense layer ``y = x W + b`` with optional ReLU."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+    activation: bool = True
+
+    @classmethod
+    def random(
+        cls, in_dim: int, out_dim: int, seed: int = 0, activation: bool = True
+    ) -> "LinearTransform":
+        """Xavier-style random initialisation."""
+        rng = np.random.default_rng(seed)
+        scale = np.sqrt(2.0 / (in_dim + out_dim))
+        return cls(
+            weight=rng.normal(0.0, scale, size=(in_dim, out_dim)),
+            bias=np.zeros(out_dim),
+            activation=activation,
+        )
+
+    @property
+    def in_dim(self) -> int:
+        """Input feature dimensionality."""
+        return int(self.weight.shape[0])
+
+    @property
+    def out_dim(self) -> int:
+        """Output feature dimensionality."""
+        return int(self.weight.shape[1])
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        y = np.asarray(x, dtype=np.float64) @ self.weight + self.bias
+        return relu(y) if self.activation else y
+
+    def flops(self, num_rows: int) -> int:
+        """Multiply-accumulate count of applying the layer to ``num_rows`` rows."""
+        return 2 * num_rows * self.in_dim * self.out_dim
+
+
+@dataclass
+class MLPTransform:
+    """A two-layer perceptron used as the last-layer transformation (GIN/MLP)."""
+
+    first: LinearTransform
+    second: LinearTransform
+
+    @classmethod
+    def random(cls, in_dim: int, hidden_dim: int, out_dim: int, seed: int = 0) -> "MLPTransform":
+        """Random two-layer MLP."""
+        return cls(
+            first=LinearTransform.random(in_dim, hidden_dim, seed=seed, activation=True),
+            second=LinearTransform.random(hidden_dim, out_dim, seed=seed + 1, activation=False),
+        )
+
+    @property
+    def in_dim(self) -> int:
+        """Input feature dimensionality."""
+        return self.first.in_dim
+
+    @property
+    def out_dim(self) -> int:
+        """Output feature dimensionality."""
+        return self.second.out_dim
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.second(self.first(x))
+
+    def flops(self, num_rows: int) -> int:
+        """Multiply-accumulate count of applying the MLP to ``num_rows`` rows."""
+        return self.first.flops(num_rows) + self.second.flops(num_rows)

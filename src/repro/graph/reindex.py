@@ -1,0 +1,85 @@
+"""Reference subgraph reindexing.
+
+After sampling, the subgraph's original VIDs must be renumbered to a compact
+``[0, num_sampled)`` range so the extracted embedding table lines up with the
+new indices (Section II-B, Fig. 4b).  This module provides the hash-map-based
+reference implementation the SCR reindexer is verified against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graph.coo import COOGraph, VID_DTYPE
+from repro.graph.sampling import SampledSubgraph
+
+
+@dataclass
+class ReindexResult:
+    """Output of subgraph reindexing.
+
+    Attributes:
+        mapping: dict from original VID to new compact VID, in first-seen order.
+        edges: the reindexed subgraph edges in COO format (new VIDs).
+        original_vids: array such that ``original_vids[new_vid]`` recovers the
+            original VID; this is the order embeddings must be gathered in.
+    """
+
+    mapping: Dict[int, int]
+    edges: COOGraph
+    original_vids: np.ndarray
+
+    @property
+    def num_sampled_nodes(self) -> int:
+        """Number of distinct vertices in the reindexed subgraph."""
+        return int(self.original_vids.shape[0])
+
+
+def reindex_edges(
+    src: np.ndarray,
+    dst: np.ndarray,
+    mapping: Optional[Dict[int, int]] = None,
+) -> ReindexResult:
+    """Renumber the VIDs of an edge list to a dense ``[0, n)`` range.
+
+    New IDs are assigned in first-encounter order while scanning the
+    destination array then the source array edge by edge — the same order the
+    hardware reindexer processes the uni-random selection output, so results
+    are directly comparable.
+    """
+    if mapping is None:
+        mapping = {}
+    src = np.asarray(src, dtype=VID_DTYPE)
+    dst = np.asarray(dst, dtype=VID_DTYPE)
+    new_src = np.empty_like(src)
+    new_dst = np.empty_like(dst)
+    for i in range(src.shape[0]):
+        for arr, out in ((dst, new_dst), (src, new_src)):
+            vid = int(arr[i])
+            if vid not in mapping:
+                mapping[vid] = len(mapping)
+            out[i] = mapping[vid]
+    original = np.empty(len(mapping), dtype=VID_DTYPE)
+    for vid, new in mapping.items():
+        original[new] = vid
+    num_nodes = len(mapping)
+    edges = COOGraph(src=new_src, dst=new_dst, num_nodes=max(num_nodes, 1), name="reindexed")
+    return ReindexResult(mapping=mapping, edges=edges, original_vids=original)
+
+
+def reindex_subgraph(sample: SampledSubgraph) -> ReindexResult:
+    """Reindex all layers of a sampled subgraph into one compact edge list."""
+    combined = sample.all_edges()
+    return reindex_edges(combined.src, combined.dst)
+
+
+def gather_embeddings(embeddings: np.ndarray, result: ReindexResult) -> np.ndarray:
+    """Extract the embedding rows of the sampled vertices, in new-VID order.
+
+    ``embeddings`` is the original embedding table indexed by original VID;
+    the returned table is indexed by the compact reindexed VID.
+    """
+    return embeddings[result.original_vids]

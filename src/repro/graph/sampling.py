@@ -1,0 +1,192 @@
+"""Reference neighbour sampling (unique random selection).
+
+GNN preprocessing samples a fixed number ``k`` of unique neighbours per node
+(node-wise) or per layer (layer-wise) before inference, bounding the node
+explosion of multi-hop traversal (Section II-B).  These are the software
+reference implementations every accelerated sampler is verified against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.coo import COOGraph, VID_DTYPE
+from repro.graph.csc import CSCGraph
+
+
+@dataclass
+class SampledSubgraph:
+    """The result of multi-hop neighbourhood sampling.
+
+    Attributes:
+        batch_nodes: the seed (batch) VIDs, in the original graph's numbering.
+        layers: one COO edge list per GNN layer, outermost hop first, with
+            original VIDs.  ``layers[i]`` holds the edges traversed at hop
+            ``num_layers - i`` (matching the paper's layer-1-first inference).
+        sampled_nodes: all distinct original VIDs touched by the sample,
+            including the batch nodes.
+    """
+
+    batch_nodes: np.ndarray
+    layers: List[COOGraph] = field(default_factory=list)
+    sampled_nodes: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=VID_DTYPE))
+
+    @property
+    def num_layers(self) -> int:
+        """Number of sampled hops."""
+        return len(self.layers)
+
+    @property
+    def num_sampled_nodes(self) -> int:
+        """Number of distinct vertices in the sample."""
+        return int(self.sampled_nodes.shape[0])
+
+    @property
+    def num_sampled_edges(self) -> int:
+        """Total number of edges across all sampled layers."""
+        return int(sum(layer.num_edges for layer in self.layers))
+
+    def all_edges(self) -> COOGraph:
+        """Concatenate every layer's edges into one COO graph (original VIDs)."""
+        if not self.layers:
+            return COOGraph(
+                src=np.empty(0, dtype=VID_DTYPE),
+                dst=np.empty(0, dtype=VID_DTYPE),
+                num_nodes=int(self.layers[0].num_nodes) if self.layers else 0,
+            )
+        src = np.concatenate([layer.src for layer in self.layers])
+        dst = np.concatenate([layer.dst for layer in self.layers])
+        return COOGraph(src=src, dst=dst, num_nodes=self.layers[0].num_nodes)
+
+
+def sample_neighbors(
+    graph: CSCGraph,
+    node: int,
+    k: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample up to ``k`` unique in-neighbours of ``node`` uniformly at random.
+
+    If the node has fewer than ``k`` neighbours, all of them are returned.
+    Uniqueness is guaranteed (sampling without replacement).
+    """
+    neighbors = graph.in_neighbors(node)
+    unique = np.unique(neighbors)
+    if unique.shape[0] <= k:
+        return unique.copy()
+    return rng.choice(unique, size=k, replace=False)
+
+
+def node_wise_sample(
+    graph: CSCGraph,
+    batch_nodes: Sequence[int],
+    k: int,
+    num_layers: int,
+    seed: int = 0,
+) -> SampledSubgraph:
+    """Node-wise neighbourhood sampling (GraphSAGE-style, Fig. 4a).
+
+    Starting from the batch nodes, each hop samples ``k`` unique neighbours of
+    every frontier node; the sampled neighbours become the next frontier.
+    """
+    rng = np.random.default_rng(seed)
+    batch = np.asarray(list(batch_nodes), dtype=VID_DTYPE)
+    frontier = np.unique(batch)
+    layers: List[COOGraph] = []
+    seen = set(frontier.tolist())
+
+    for _ in range(num_layers):
+        layer_src: List[int] = []
+        layer_dst: List[int] = []
+        next_frontier: List[int] = []
+        for node in frontier.tolist():
+            picked = sample_neighbors(graph, int(node), k, rng)
+            for src in picked.tolist():
+                layer_src.append(int(src))
+                layer_dst.append(int(node))
+                next_frontier.append(int(src))
+                seen.add(int(src))
+        layers.append(
+            COOGraph(
+                src=np.array(layer_src, dtype=VID_DTYPE),
+                dst=np.array(layer_dst, dtype=VID_DTYPE),
+                num_nodes=graph.num_nodes,
+            )
+        )
+        frontier = np.unique(np.array(next_frontier, dtype=VID_DTYPE)) if next_frontier else np.empty(
+            0, dtype=VID_DTYPE
+        )
+        if frontier.size == 0:
+            break
+
+    sampled = np.array(sorted(seen), dtype=VID_DTYPE)
+    # Present layers outermost-hop first, matching the inference order.
+    layers = list(reversed(layers))
+    return SampledSubgraph(batch_nodes=batch, layers=layers, sampled_nodes=sampled)
+
+
+def layer_wise_sample(
+    graph: CSCGraph,
+    batch_nodes: Sequence[int],
+    k: int,
+    num_layers: int,
+    seed: int = 0,
+) -> SampledSubgraph:
+    """Layer-wise sampling (FastGCN-style): ``k`` nodes per layer, aggregated.
+
+    All frontier neighbour arrays of a layer are pooled into one candidate set
+    and ``k`` unique nodes are drawn from the pool (Section V-A control path).
+    """
+    rng = np.random.default_rng(seed)
+    batch = np.asarray(list(batch_nodes), dtype=VID_DTYPE)
+    frontier = np.unique(batch)
+    layers: List[COOGraph] = []
+    seen = set(frontier.tolist())
+
+    for _ in range(num_layers):
+        candidates: List[int] = []
+        incoming: Dict[int, List[int]] = {}
+        for node in frontier.tolist():
+            neigh = np.unique(graph.in_neighbors(int(node)))
+            for src in neigh.tolist():
+                candidates.append(int(src))
+                incoming.setdefault(int(src), []).append(int(node))
+        if not candidates:
+            break
+        pool = np.unique(np.array(candidates, dtype=VID_DTYPE))
+        take = min(k, pool.shape[0])
+        chosen = rng.choice(pool, size=take, replace=False)
+        layer_src: List[int] = []
+        layer_dst: List[int] = []
+        for src in chosen.tolist():
+            for dst in incoming[int(src)]:
+                layer_src.append(int(src))
+                layer_dst.append(int(dst))
+            seen.add(int(src))
+        layers.append(
+            COOGraph(
+                src=np.array(layer_src, dtype=VID_DTYPE),
+                dst=np.array(layer_dst, dtype=VID_DTYPE),
+                num_nodes=graph.num_nodes,
+            )
+        )
+        frontier = np.unique(chosen.astype(VID_DTYPE))
+
+    sampled = np.array(sorted(seen), dtype=VID_DTYPE)
+    layers = list(reversed(layers))
+    return SampledSubgraph(batch_nodes=batch, layers=layers, sampled_nodes=sampled)
+
+
+def expected_sampled_nodes(batch_size: int, k: int, num_layers: int) -> int:
+    """Upper bound on sampled node count: ``b * (k^(l+1) - 1) / (k - 1)``.
+
+    The paper's cost model (Table I) uses the related total-selection count
+    ``s = b * (k^(l+1) - 1)``; this helper gives the geometric-series bound on
+    distinct nodes, useful for sanity checks and memory provisioning.
+    """
+    if k <= 1:
+        return batch_size * (num_layers + 1)
+    return int(batch_size * (k ** (num_layers + 1) - 1) // (k - 1))

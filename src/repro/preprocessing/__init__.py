@@ -1,0 +1,36 @@
+"""Reference GNN preprocessing pipeline.
+
+The paper decomposes GNN preprocessing into four tasks (Section II-B):
+edge ordering, data reshaping, unique random selection and subgraph
+reindexing.  This package provides the software reference pipeline that the
+CPU/GPU baselines and the AutoGNN hardware simulator are all verified against,
+plus the task-level result containers used across the repo.
+"""
+
+from repro.preprocessing.tasks import (
+    Task,
+    TaskResult,
+    EdgeOrderingTask,
+    DataReshapingTask,
+    UniqueRandomSelectionTask,
+    SubgraphReindexingTask,
+)
+from repro.preprocessing.pipeline import (
+    PreprocessingConfig,
+    PreprocessingResult,
+    PreprocessingPipeline,
+    preprocess,
+)
+
+__all__ = [
+    "Task",
+    "TaskResult",
+    "EdgeOrderingTask",
+    "DataReshapingTask",
+    "UniqueRandomSelectionTask",
+    "SubgraphReindexingTask",
+    "PreprocessingConfig",
+    "PreprocessingResult",
+    "PreprocessingPipeline",
+    "preprocess",
+]

@@ -1,0 +1,156 @@
+"""The four GNN preprocessing tasks as composable reference implementations.
+
+Each task is a small object with an :meth:`run` method returning a
+:class:`TaskResult`; tasks carry no timing model (the baselines and the
+hardware simulator layer their own timing on top of the same functional
+behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.coo import COOGraph, VID_DTYPE
+from repro.graph.csc import CSCGraph
+from repro.graph.convert import build_pointer_array, edge_order
+from repro.graph.reindex import ReindexResult, reindex_edges
+from repro.graph.sampling import SampledSubgraph, layer_wise_sample, node_wise_sample
+
+
+class TaskKind(Enum):
+    """The four preprocessing task categories used throughout the paper."""
+
+    ORDERING = "ordering"
+    RESHAPING = "reshaping"
+    SELECTING = "selecting"
+    REINDEXING = "reindexing"
+
+
+@dataclass
+class TaskResult:
+    """Output of a preprocessing task.
+
+    Attributes:
+        kind: which of the four tasks produced this result.
+        payload: task-specific output object (sorted COO, CSC, sample, ...).
+        stats: free-form counters describing the amount of work performed
+            (element counts the timing models consume).
+    """
+
+    kind: TaskKind
+    payload: Any
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+class Task:
+    """Base class for preprocessing tasks."""
+
+    kind: TaskKind
+
+    def run(self, *args: Any, **kwargs: Any) -> TaskResult:
+        """Execute the task and return its result."""
+        raise NotImplementedError
+
+
+class EdgeOrderingTask(Task):
+    """Sort the COO edge array by (destination, source) VID."""
+
+    kind = TaskKind.ORDERING
+
+    def run(self, graph: COOGraph) -> TaskResult:
+        ordered = edge_order(graph)
+        return TaskResult(
+            kind=self.kind,
+            payload=ordered,
+            stats={"num_edges": float(graph.num_edges), "num_nodes": float(graph.num_nodes)},
+        )
+
+
+class DataReshapingTask(Task):
+    """Build the CSC pointer array from a destination-sorted edge array."""
+
+    kind = TaskKind.RESHAPING
+
+    def run(self, ordered: COOGraph) -> TaskResult:
+        indptr = build_pointer_array(ordered.dst, ordered.num_nodes)
+        csc = CSCGraph(
+            indptr=indptr,
+            indices=ordered.src.copy(),
+            num_nodes=ordered.num_nodes,
+            name=ordered.name,
+        )
+        return TaskResult(
+            kind=self.kind,
+            payload=csc,
+            stats={"num_edges": float(ordered.num_edges), "num_nodes": float(ordered.num_nodes)},
+        )
+
+
+class UniqueRandomSelectionTask(Task):
+    """Multi-hop unique random neighbour selection (node- or layer-wise)."""
+
+    kind = TaskKind.SELECTING
+
+    def __init__(self, strategy: str = "node") -> None:
+        if strategy not in ("node", "layer"):
+            raise ValueError(f"unknown sampling strategy {strategy!r}")
+        self.strategy = strategy
+
+    def run(
+        self,
+        csc: CSCGraph,
+        batch_nodes: Sequence[int],
+        k: int,
+        num_layers: int,
+        seed: int = 0,
+    ) -> TaskResult:
+        if self.strategy == "node":
+            sample = node_wise_sample(csc, batch_nodes, k, num_layers, seed=seed)
+        else:
+            sample = layer_wise_sample(csc, batch_nodes, k, num_layers, seed=seed)
+        return TaskResult(
+            kind=self.kind,
+            payload=sample,
+            stats={
+                "batch_size": float(len(list(batch_nodes))),
+                "k": float(k),
+                "num_layers": float(num_layers),
+                "sampled_nodes": float(sample.num_sampled_nodes),
+                "sampled_edges": float(sample.num_sampled_edges),
+            },
+        )
+
+
+class SubgraphReindexingTask(Task):
+    """Renumber sampled-subgraph VIDs to a dense range."""
+
+    kind = TaskKind.REINDEXING
+
+    def run(
+        self,
+        sample: SampledSubgraph,
+        mapping: Optional[Dict[int, int]] = None,
+    ) -> TaskResult:
+        combined = sample.all_edges()
+        result: ReindexResult = reindex_edges(combined.src, combined.dst, mapping=mapping)
+        return TaskResult(
+            kind=self.kind,
+            payload=result,
+            stats={
+                "num_edges": float(combined.num_edges),
+                "num_mapped": float(result.num_sampled_nodes),
+            },
+        )
+
+
+def empty_sample(num_nodes: int) -> SampledSubgraph:
+    """A zero-layer sample, useful for degenerate inputs in tests."""
+    return SampledSubgraph(
+        batch_nodes=np.empty(0, dtype=VID_DTYPE),
+        layers=[],
+        sampled_nodes=np.empty(0, dtype=VID_DTYPE),
+    )

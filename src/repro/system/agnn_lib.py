@@ -1,0 +1,188 @@
+"""AGNN-lib: the user-level host software of AutoGNN (Section V-B).
+
+AGNN-lib keeps the DGL-compatible surface (``upload_graph`` mirrors
+``update_graph``), profiles incoming graphs, evaluates the cost model against
+the staged bitstreams and asks the device to reconfigure only when the
+predicted improvement outweighs the reconfiguration cost.  The kernel-driver
+duties (scatter-gather descriptors over DMA-main) are modelled by the PCIe
+transfer layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bitstream import BitstreamLibrary, generate_bitstream_library
+from repro.core.config import HardwareConfig, KERNEL_CLOCK_HZ, scaled_default_config
+from repro.core.cost_model import CostEstimate, CostModel
+from repro.core.reconfig import ReconfigurationController, ReconfigurationEvent
+from repro.graph.coo import COOGraph
+from repro.system.pcie import PCIeLink
+from repro.system.workload import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Light-weight metadata AGNN-lib collects about an uploaded graph.
+
+    Attributes:
+        num_nodes: node count.
+        num_edges: edge count.
+        avg_degree: average in-degree.
+        max_degree: maximum in-degree (drives node-explosion risk).
+    """
+
+    num_nodes: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+
+    @classmethod
+    def from_graph(cls, graph: COOGraph) -> "GraphProfile":
+        """Profile an in-memory COO graph."""
+        return cls(
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            avg_degree=graph.avg_degree,
+            max_degree=graph.max_degree(),
+        )
+
+    def to_workload(
+        self,
+        num_layers: int = 2,
+        k: int = 10,
+        batch_size: int = 3000,
+        name: str = "uploaded",
+    ) -> WorkloadProfile:
+        """Turn the profile into a workload description for the cost model."""
+        return WorkloadProfile(
+            name=name,
+            num_nodes=self.num_nodes,
+            num_edges=self.num_edges,
+            avg_degree=self.avg_degree,
+            num_layers=num_layers,
+            k=k,
+            batch_size=min(batch_size, max(self.num_nodes, 1)),
+        )
+
+
+@dataclass
+class ReconfigurationDecision:
+    """Outcome of one cost-model evaluation.
+
+    Attributes:
+        reconfigure: whether AGNN-lib asks the device to reprogram.
+        target: the chosen configuration (current one when not reconfiguring).
+        predicted_improvement: fractional latency improvement the cost model
+            predicts for the target over the current configuration.
+        current_estimate: cost estimate of the currently loaded configuration.
+        target_estimate: cost estimate of the chosen configuration.
+    """
+
+    reconfigure: bool
+    target: HardwareConfig
+    predicted_improvement: float
+    current_estimate: CostEstimate
+    target_estimate: CostEstimate
+
+
+class AGNNLib:
+    """Host-side library: graph I/O, profiling and reconfiguration policy."""
+
+    def __init__(
+        self,
+        library: Optional[BitstreamLibrary] = None,
+        initial_config: Optional[HardwareConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        pcie: Optional[PCIeLink] = None,
+        reconfigure_threshold: float = 0.05,
+    ) -> None:
+        self.library = library or generate_bitstream_library()
+        self.config = initial_config or scaled_default_config(self.library.board)
+        self.cost_model = cost_model or CostModel()
+        self.pcie = pcie or PCIeLink()
+        self.reconfigure_threshold = reconfigure_threshold
+        self.controller = ReconfigurationController(self.library, self.config)
+        self._uploaded: Optional[COOGraph] = None
+        self._profile: Optional[GraphProfile] = None
+        self.upload_history: List[Tuple[int, float]] = []
+
+    # ---------------------------------------------------------------- graph I/O
+    def upload_graph(self, graph: COOGraph) -> float:
+        """Upload (or incrementally update) a graph; returns transfer seconds.
+
+        The first upload moves the whole COO through DMA-main; subsequent
+        uploads only move the delta relative to the previously resident graph,
+        matching AutoGNN's ability to keep graph data in device memory.
+        """
+        profile = GraphProfile.from_graph(graph)
+        if self._uploaded is None:
+            transfer_bytes = graph.nbytes()
+        else:
+            delta_edges = max(graph.num_edges - self._uploaded.num_edges, 0)
+            if graph.name and self._uploaded.name and graph.name != self._uploaded.name:
+                # A different dataset entirely: full upload.
+                transfer_bytes = graph.nbytes()
+            else:
+                transfer_bytes = delta_edges * 16
+        seconds = self.pcie.dma_main(transfer_bytes)
+        self._uploaded = graph
+        self._profile = profile
+        self.upload_history.append((transfer_bytes, seconds))
+        return seconds
+
+    def update_graph(self, graph: COOGraph) -> float:
+        """DGL-compatible alias of :meth:`upload_graph`."""
+        return self.upload_graph(graph)
+
+    @property
+    def profile(self) -> Optional[GraphProfile]:
+        """Profile of the currently resident graph (``None`` before upload)."""
+        return self._profile
+
+    # ----------------------------------------------------------- reconfiguration
+    def evaluate_reconfiguration(self, workload: WorkloadProfile) -> ReconfigurationDecision:
+        """Score all staged bitstreams and decide whether to reprogram."""
+        params = workload.to_cost_params()
+        current_estimate = self.cost_model.estimate(params, self.config)
+        target, target_estimate = self.cost_model.best_configuration(
+            params, self.library.configurations()
+        )
+        if current_estimate.total_cycles <= 0:
+            improvement = 0.0
+        else:
+            improvement = (
+                current_estimate.total_cycles - target_estimate.total_cycles
+            ) / current_estimate.total_cycles
+        should = (
+            target.key() != self.config.key()
+            and improvement >= self.reconfigure_threshold
+        )
+        return ReconfigurationDecision(
+            reconfigure=should,
+            target=target if should else self.config,
+            predicted_improvement=improvement,
+            current_estimate=current_estimate,
+            target_estimate=target_estimate,
+        )
+
+    def apply_reconfiguration(self, decision: ReconfigurationDecision) -> Optional[ReconfigurationEvent]:
+        """Carry out a positive reconfiguration decision; returns the event."""
+        if not decision.reconfigure:
+            return None
+        event = self.controller.reconfigure(decision.target)
+        self.config = decision.target
+        return event
+
+    def prepare(self, workload: WorkloadProfile) -> Tuple[HardwareConfig, float]:
+        """Profile, decide and reconfigure in one call.
+
+        Returns the configuration that will execute the workload and the
+        reconfiguration latency charged (0 when nothing changed).
+        """
+        decision = self.evaluate_reconfiguration(workload)
+        event = self.apply_reconfiguration(decision)
+        return self.config, (event.latency_seconds if event else 0.0)

@@ -1,0 +1,87 @@
+"""Common interface of every compared preprocessing system.
+
+A preprocessing system turns a :class:`~repro.system.workload.WorkloadProfile`
+into per-task preprocessing latencies, transfer latencies and (for the
+reconfigurable AutoGNN variants) reconfiguration latency.  The GNN service
+layer adds the inference latency on top to produce end-to-end numbers.
+
+Both the software baselines (:mod:`repro.baselines`) and the AutoGNN variants
+(:mod:`repro.system.variants`) implement this interface, which is why it lives
+here rather than in either package.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.metrics import EndToEndLatency, TaskLatencies
+from repro.system.pcie import PCIeLink, TransferBreakdown
+from repro.system.workload import WorkloadProfile
+
+
+@dataclass
+class SystemLatency:
+    """Everything a preprocessing system reports for one pass.
+
+    Attributes:
+        preprocessing: per-task preprocessing latencies (seconds).
+        transfers: per-hop data-movement latencies (seconds).
+        reconfiguration: FPGA reconfiguration latency (seconds, AutoGNN only).
+        bandwidth_utilization: fraction of the platform's peak memory bandwidth
+            sustained during preprocessing.
+        extras: free-form additional metrics (LUT utilisation, power, ...).
+    """
+
+    preprocessing: TaskLatencies = field(default_factory=TaskLatencies)
+    transfers: TransferBreakdown = field(default_factory=TransferBreakdown)
+    reconfiguration: float = 0.0
+    bandwidth_utilization: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def preprocessing_total(self) -> float:
+        """Total preprocessing latency excluding transfers."""
+        return self.preprocessing.total
+
+    @property
+    def total(self) -> float:
+        """Preprocessing + transfer + reconfiguration latency."""
+        return self.preprocessing.total + self.transfers.total + self.reconfiguration
+
+    def end_to_end(self, inference_seconds: float) -> EndToEndLatency:
+        """Attach an inference latency and produce the end-to-end decomposition."""
+        return EndToEndLatency(
+            preprocessing=self.preprocessing,
+            transfer=self.transfers.total,
+            inference=inference_seconds,
+            reconfiguration=self.reconfiguration,
+        )
+
+
+class PreprocessingSystem(ABC):
+    """Abstract compared system (CPU, GPU, GSamp, FPGA sampler, AutoGNN ...)."""
+
+    #: Display name used in benchmark output (matches the paper's labels).
+    name: str = "system"
+
+    def __init__(self, pcie: Optional[PCIeLink] = None) -> None:
+        self.pcie = pcie or PCIeLink()
+
+    # ------------------------------------------------------------ interface
+    @abstractmethod
+    def evaluate(self, workload: WorkloadProfile) -> SystemLatency:
+        """Model one preprocessing pass of ``workload`` on this system."""
+
+    # ------------------------------------------------------------- niceties
+    def preprocessing_latency(self, workload: WorkloadProfile) -> TaskLatencies:
+        """Per-task preprocessing latencies only."""
+        return self.evaluate(workload).preprocessing
+
+    def total_latency(self, workload: WorkloadProfile) -> float:
+        """Preprocessing + transfer + reconfiguration latency."""
+        return self.evaluate(workload).total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

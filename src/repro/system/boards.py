@@ -1,0 +1,79 @@
+"""FPGA board catalogue for the cost-effectiveness study (Fig. 26).
+
+The paper sweeps the LUT count from ~400 K to ~4 M and evaluates boards across
+a wide price range, comparing performance and performance-per-dollar against
+the RTX 3090.  Prices are street prices of the corresponding AMD/Xilinx
+evaluation boards; they only matter as relative magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import FPGAResources
+
+#: Street price of the RTX 3090 reference GPU (Fig. 26b normalises to this).
+GPU_REFERENCE_PRICE: float = 1_500.0
+
+
+@dataclass(frozen=True)
+class FPGABoard:
+    """One purchasable FPGA board.
+
+    Attributes:
+        name: board/device name.
+        luts: LUT count.
+        price_usd: street price.
+        tier: ``"low"``, ``"mid"`` or ``"high"`` price tier.
+    """
+
+    name: str
+    luts: int
+    price_usd: float
+    tier: str
+
+    #: Peak device-DRAM bandwidth per price tier (bytes/second): low-end boards
+    #: ship a single DDR channel, high-end boards multiple DDR4/LPDDR stacks.
+    TIER_BANDWIDTH = {"low": 12e9, "mid": 32e9, "high": 64e9}
+
+    def resources(self) -> FPGAResources:
+        """Convert to the resource descriptor used by the hardware config."""
+        return FPGAResources(
+            name=self.name,
+            luts=self.luts,
+            price_usd=self.price_usd,
+            dram_bandwidth=self.TIER_BANDWIDTH[self.tier],
+        )
+
+    @property
+    def normalized_price(self) -> float:
+        """Price relative to the reference GPU."""
+        return self.price_usd / GPU_REFERENCE_PRICE
+
+
+#: Representative boards across the price/LUT range of Fig. 26.
+BOARD_CATALOG: List[FPGABoard] = [
+    FPGABoard(name="Artix-7 200T", luts=134_600, price_usd=250.0, tier="low"),
+    FPGABoard(name="Kintex-7 410T", luts=254_200, price_usd=900.0, tier="low"),
+    FPGABoard(name="Kintex UltraScale KU060", luts=331_000, price_usd=1_500.0, tier="low"),
+    FPGABoard(name="Kintex UltraScale KU115", luts=663_000, price_usd=2_900.0, tier="mid"),
+    FPGABoard(name="Virtex UltraScale+ VU9P", luts=1_182_000, price_usd=6_000.0, tier="mid"),
+    FPGABoard(name="Versal VM1802", luts=899_000, price_usd=9_000.0, tier="mid"),
+    FPGABoard(name="Virtex UltraScale+ VU13P", luts=1_728_000, price_usd=11_000.0, tier="high"),
+    FPGABoard(name="Versal VPK120", luts=2_700_000, price_usd=12_500.0, tier="high"),
+    FPGABoard(name="Versal VPK180", luts=4_100_000, price_usd=14_000.0, tier="high"),
+]
+
+
+def boards_by_tier(tier: str) -> List[FPGABoard]:
+    """All catalogued boards of the given price tier."""
+    return [b for b in BOARD_CATALOG if b.tier == tier]
+
+
+def board_by_name(name: str) -> FPGABoard:
+    """Look a board up by exact name; raises ``KeyError`` when unknown."""
+    for board in BOARD_CATALOG:
+        if board.name == name:
+            return board
+    raise KeyError(f"unknown FPGA board {name!r}")

@@ -1,0 +1,74 @@
+"""PCIe / DMA transfer model.
+
+AutoGNN exposes two DMA regions (Fig. 11b): DMA-main moves large scattered COO
+datasets from host memory with a scatter-gather descriptor, while DMA-bypass
+maps small results (the sampled subgraph) directly into GPU or host memory.
+The transfer model charges bandwidth-proportional latency plus a fixed setup
+cost per DMA descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Effective PCIe 4.0 x16 bandwidth for large DMA transfers (bytes/second).
+PCIE_BANDWIDTH: float = 16e9
+
+#: Per-transfer setup latency (descriptor creation, doorbell, interrupt).
+DMA_SETUP_SECONDS: float = 20e-6
+
+#: Effective bandwidth of BAR/MMIO (DMA-bypass) accesses, lower than bulk DMA.
+BYPASS_BANDWIDTH: float = 4e9
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A host-device PCIe link with bulk-DMA and MMIO-style transfer paths.
+
+    Attributes:
+        bandwidth: bulk DMA bandwidth in bytes/second.
+        bypass_bandwidth: DMA-bypass (BAR) bandwidth in bytes/second.
+        setup_seconds: fixed per-transfer setup latency.
+    """
+
+    bandwidth: float = PCIE_BANDWIDTH
+    bypass_bandwidth: float = BYPASS_BANDWIDTH
+    setup_seconds: float = DMA_SETUP_SECONDS
+
+    def dma_main(self, num_bytes: int) -> float:
+        """Latency of a bulk scatter-gather DMA transfer of ``num_bytes``."""
+        if num_bytes <= 0:
+            return 0.0
+        return self.setup_seconds + num_bytes / self.bandwidth
+
+    def dma_bypass(self, num_bytes: int) -> float:
+        """Latency of a small BAR-mapped transfer of ``num_bytes``."""
+        if num_bytes <= 0:
+            return 0.0
+        return self.setup_seconds + num_bytes / self.bypass_bandwidth
+
+    def best_path(self, num_bytes: int, bypass_threshold: int = 4 << 20) -> float:
+        """Pick DMA-bypass for small payloads and DMA-main for large ones."""
+        if num_bytes <= bypass_threshold:
+            return self.dma_bypass(num_bytes)
+        return self.dma_main(num_bytes)
+
+
+@dataclass
+class TransferBreakdown:
+    """Per-hop transfer latencies of one preprocessing pass (seconds)."""
+
+    host_to_accelerator: float = 0.0
+    accelerator_to_gpu: float = 0.0
+    gpu_to_accelerator: float = 0.0
+    host_to_gpu: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total transfer latency."""
+        return (
+            self.host_to_accelerator
+            + self.accelerator_to_gpu
+            + self.gpu_to_accelerator
+            + self.host_to_gpu
+        )

@@ -1,0 +1,88 @@
+"""Power and energy model (Fig. 19).
+
+During preprocessing the AutoGNN FPGA draws ~9.3 W while the GPU dissipates
+~183 W for the same work; both systems execute the GNN model on the GPU, so
+the end-to-end energy gap narrows to ~3.3x in AutoGNN's favour thanks to the
+latency reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.metrics import EndToEndLatency
+
+#: FPGA power while running AutoGNN preprocessing (Section VI-A).
+FPGA_PREPROCESS_WATTS: float = 9.3
+
+#: GPU power while running DGL preprocessing.
+GPU_PREPROCESS_WATTS: float = 183.0
+
+#: GPU power while executing the GNN model.
+GPU_INFERENCE_WATTS: float = 250.0
+
+#: CPU package power while running DGL preprocessing on the host.
+CPU_PREPROCESS_WATTS: float = 240.0
+
+#: Host idle/background power charged to transfer phases.
+TRANSFER_WATTS: float = 35.0
+
+
+@dataclass
+class EnergyReport:
+    """Energy consumed by one end-to-end inference pass.
+
+    Attributes:
+        preprocessing_joules: energy of the preprocessing phase.
+        inference_joules: energy of GNN model execution.
+        transfer_joules: energy charged to data movement.
+        preprocessing_watts: average power of the preprocessing phase.
+    """
+
+    preprocessing_joules: float
+    inference_joules: float
+    transfer_joules: float
+    preprocessing_watts: float
+
+    @property
+    def total_joules(self) -> float:
+        """Total energy of the pass."""
+        return self.preprocessing_joules + self.inference_joules + self.transfer_joules
+
+
+class PowerModel:
+    """Maps an end-to-end latency decomposition to power and energy."""
+
+    #: Preprocessing power per platform (W).
+    PREPROCESS_WATTS: Dict[str, float] = {
+        "fpga": FPGA_PREPROCESS_WATTS,
+        "gpu": GPU_PREPROCESS_WATTS,
+        "cpu": CPU_PREPROCESS_WATTS,
+    }
+
+    def __init__(self, preprocessing_platform: str = "fpga") -> None:
+        platform = preprocessing_platform.lower()
+        if platform not in self.PREPROCESS_WATTS:
+            raise ValueError(f"unknown preprocessing platform {platform!r}")
+        self.preprocessing_platform = platform
+
+    @property
+    def preprocessing_watts(self) -> float:
+        """Average power drawn while preprocessing on this platform."""
+        return self.PREPROCESS_WATTS[self.preprocessing_platform]
+
+    def energy(self, latency: EndToEndLatency) -> EnergyReport:
+        """Energy of one pass whose latency decomposition is ``latency``."""
+        preprocess_seconds = latency.preprocessing.total + latency.reconfiguration
+        return EnergyReport(
+            preprocessing_joules=preprocess_seconds * self.preprocessing_watts,
+            inference_joules=latency.inference * GPU_INFERENCE_WATTS,
+            transfer_joules=latency.transfer * TRANSFER_WATTS,
+            preprocessing_watts=self.preprocessing_watts,
+        )
+
+
+def power_ratio(gpu_watts: float = GPU_PREPROCESS_WATTS, fpga_watts: float = FPGA_PREPROCESS_WATTS) -> float:
+    """Preprocessing power ratio between GPU and AutoGNN (paper: ~19.7x)."""
+    return gpu_watts / fpga_watts

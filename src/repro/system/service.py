@@ -1,0 +1,147 @@
+"""The GNN service: preprocessing system + transfers + GPU inference.
+
+This is the layer the end-to-end experiments run on.  A service pairs one
+compared preprocessing system (CPU / GPU / GSamp / FPGA / AutoPre / StatPre /
+DynPre) with the analytic GPU inference-latency model and produces the
+end-to-end latency decomposition the paper's figures report.  It can also run
+the functional path on an in-memory graph to validate that the preprocessing
+actually produces a correct subgraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import EndToEndLatency, TaskLatencies
+from repro.system.base import PreprocessingSystem, SystemLatency
+from repro.baselines.cpu import CPUPreprocessingSystem
+from repro.baselines.fpga_sampler import FPGASamplerSystem
+from repro.baselines.gpu import GPUPreprocessingSystem
+from repro.baselines.gsamp import GSampSystem
+from repro.core.bitstream import generate_bitstream_library
+from repro.gnn.inference import InferenceLatencyModel
+from repro.system.power import EnergyReport, PowerModel
+from repro.system.variants import AutoPreSystem, DynPreSystem, StatPreSystem, tuned_config_for
+from repro.system.workload import WorkloadProfile
+
+
+@dataclass
+class ServiceReport:
+    """End-to-end latency, energy and utilisation of one service pass.
+
+    Attributes:
+        system: name of the preprocessing system.
+        workload: the workload the pass executed.
+        latency: end-to-end latency decomposition.
+        system_latency: the raw preprocessing-system report.
+        energy: energy decomposition for the pass.
+    """
+
+    system: str
+    workload: WorkloadProfile
+    latency: EndToEndLatency
+    system_latency: SystemLatency
+    energy: EnergyReport
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency of the pass."""
+        return self.latency.total
+
+    @property
+    def preprocessing_share(self) -> float:
+        """Fraction of the pass spent on preprocessing and data movement."""
+        return self.latency.preprocessing_share
+
+    def breakdown(self) -> Dict[str, float]:
+        """Flat component breakdown (task latencies, transfer, inference)."""
+        return self.latency.as_dict()
+
+
+class GNNService:
+    """One deployable GNN inference service."""
+
+    def __init__(
+        self,
+        preprocessing: PreprocessingSystem,
+        inference: Optional[InferenceLatencyModel] = None,
+        power_platform: Optional[str] = None,
+    ) -> None:
+        self.preprocessing = preprocessing
+        self.inference = inference or InferenceLatencyModel()
+        if power_platform is None:
+            power_platform = self._default_power_platform(preprocessing)
+        self.power = PowerModel(preprocessing_platform=power_platform)
+
+    @staticmethod
+    def _default_power_platform(system: PreprocessingSystem) -> str:
+        name = system.name.lower()
+        if name in ("cpu",):
+            return "cpu"
+        if name in ("gpu", "gsamp"):
+            return "gpu"
+        return "fpga"
+
+    # ---------------------------------------------------------------- serving
+    def inference_latency(self, workload: WorkloadProfile) -> float:
+        """Modelled GPU inference latency for the workload's sampled subgraph."""
+        return self.inference.latency_from_counts(
+            num_nodes=workload.sampled_nodes,
+            num_edges=workload.sampled_edges,
+            hidden_dim=workload.feature_dim,
+            num_layers=workload.num_layers,
+            model_name=workload.model_name,
+        )
+
+    def serve(self, workload: WorkloadProfile) -> ServiceReport:
+        """Model one end-to-end inference pass of ``workload``."""
+        system_latency = self.preprocessing.evaluate(workload)
+        inference_seconds = self.inference_latency(workload)
+        latency = system_latency.end_to_end(inference_seconds)
+        energy = self.power.energy(latency)
+        return ServiceReport(
+            system=self.preprocessing.name,
+            workload=workload,
+            latency=latency,
+            system_latency=system_latency,
+            energy=energy,
+        )
+
+    def serve_many(self, workloads: List[WorkloadProfile]) -> List[ServiceReport]:
+        """Model a sequence of passes (stateful systems keep their state)."""
+        return [self.serve(w) for w in workloads]
+
+
+def build_reference_systems(
+    tuning_workload: Optional[WorkloadProfile] = None,
+) -> Dict[str, PreprocessingSystem]:
+    """The seven compared systems of Fig. 18, keyed by the paper's labels.
+
+    ``tuning_workload`` fixes the configuration of AutoPre and StatPre (the
+    paper tunes them for the MV dataset); DynPre starts from the same
+    configuration and reconfigures per dataset.
+    """
+    if tuning_workload is None:
+        tuning_workload = WorkloadProfile.from_dataset("MV")
+    library = generate_bitstream_library()
+    tuned = tuned_config_for(tuning_workload, library)
+    return {
+        "CPU": CPUPreprocessingSystem(),
+        "GPU": GPUPreprocessingSystem(),
+        "GSamp": GSampSystem(),
+        "FPGA": FPGASamplerSystem(),
+        "AutoPre": AutoPreSystem(config=tuned),
+        "StatPre": StatPreSystem(config=tuned),
+        "DynPre": DynPreSystem(library=library, config=tuned),
+    }
+
+
+def build_services(
+    tuning_workload: Optional[WorkloadProfile] = None,
+) -> Dict[str, GNNService]:
+    """GNN services wrapping each of the seven compared systems."""
+    return {
+        name: GNNService(system)
+        for name, system in build_reference_systems(tuning_workload).items()
+    }

@@ -1,0 +1,184 @@
+"""Workload profiles: everything a performance model needs to know about a run.
+
+A :class:`WorkloadProfile` captures the graph characteristics (node/edge count,
+average degree), the GNN hyper-parameters (layers, ``k``, batch size, feature
+dimensionality) and the serving context (fraction of the graph updated since
+the previous pass).  Profiles can be built from the Table II dataset registry
+at full paper scale — which is how the headline benchmarks reproduce the
+paper's figures — or from an in-memory synthetic graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.cost_model import WorkloadParams
+from repro.graph.coo import COOGraph
+from repro.graph.datasets import DATASETS, DatasetInfo
+
+#: Bytes per stored edge (two 32-bit VIDs).
+BYTES_PER_EDGE: int = 8
+
+#: Bytes per feature element (FP32).
+BYTES_PER_FEATURE: int = 4
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One GNN serving workload.
+
+    Attributes:
+        name: dataset or scenario name.
+        num_nodes: graph node count.
+        num_edges: graph edge count.
+        avg_degree: average in-degree.
+        num_layers: GNN layer count (sampling hops).
+        k: neighbours sampled per node.
+        batch_size: inference batch (seed) node count.
+        feature_dim: embedding dimensionality.
+        update_fraction: fraction of edges that changed since the last
+            preprocessing pass (drives incremental-transfer savings).
+        model_name: GNN model used for inference.
+    """
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    avg_degree: float
+    num_layers: int = 2
+    k: int = 10
+    batch_size: int = 3000
+    feature_dim: int = 128
+    update_fraction: float = 0.01
+    model_name: str = "graphsage"
+
+    # ------------------------------------------------------------ quantities
+    @property
+    def total_selections(self) -> int:
+        """Total node selections across all hops (geometric series incl. batch)."""
+        if self.k <= 1:
+            return self.batch_size * (self.num_layers + 1)
+        return int(self.batch_size * (self.k ** (self.num_layers + 1) - 1) // (self.k - 1))
+
+    @property
+    def sampled_edges(self) -> int:
+        """Edges in the sampled subgraph (one per non-batch selection)."""
+        return max(self.total_selections - self.batch_size, 0)
+
+    @property
+    def sampled_nodes(self) -> int:
+        """Distinct vertices in the sampled subgraph (bounded by the graph)."""
+        return min(self.total_selections, self.num_nodes) if self.num_nodes else self.total_selections
+
+    @property
+    def per_seed_subgraph_nodes(self) -> int:
+        """Distinct vertices of one batch node's sampled neighbourhood."""
+        if self.k <= 1:
+            per_seed = self.num_layers + 1
+        else:
+            per_seed = (self.k ** (self.num_layers + 1) - 1) // (self.k - 1)
+        return int(min(per_seed, self.num_nodes)) if self.num_nodes else int(per_seed)
+
+    @property
+    def graph_bytes(self) -> int:
+        """Size of the COO edge array in bytes."""
+        return self.num_edges * BYTES_PER_EDGE
+
+    @property
+    def update_bytes(self) -> int:
+        """Size of the incremental graph update in bytes."""
+        return int(self.graph_bytes * self.update_fraction)
+
+    @property
+    def csc_bytes(self) -> int:
+        """Size of the converted CSC (pointer + index arrays) in bytes."""
+        return self.num_edges * BYTES_PER_EDGE // 2 + (self.num_nodes + 1) * 8
+
+    @property
+    def subgraph_bytes(self) -> int:
+        """Size of the sampled subgraph plus its gathered embeddings in bytes."""
+        edges = self.sampled_edges * BYTES_PER_EDGE
+        features = self.sampled_nodes * self.feature_dim * BYTES_PER_FEATURE
+        return edges + features
+
+    @property
+    def embedding_bytes(self) -> int:
+        """Size of the full embedding table in bytes."""
+        return self.num_nodes * self.feature_dim * BYTES_PER_FEATURE
+
+    # ----------------------------------------------------------- conversions
+    def to_cost_params(self) -> WorkloadParams:
+        """Convert to the cost-model parameter object (Table I inputs)."""
+        return WorkloadParams(
+            num_nodes=self.num_nodes,
+            num_edges=self.num_edges,
+            num_layers=self.num_layers,
+            k=self.k,
+            batch_size=self.batch_size,
+        )
+
+    def with_updates(self, update_fraction: float) -> "WorkloadProfile":
+        """Copy with a different incremental-update fraction."""
+        return replace(self, update_fraction=update_fraction)
+
+    def scaled_edges(self, factor: float) -> "WorkloadProfile":
+        """Copy with the edge count (and node count) scaled by ``factor``."""
+        return replace(
+            self,
+            num_edges=max(int(self.num_edges * factor), 1),
+            num_nodes=max(int(self.num_nodes * factor), 1),
+        )
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def from_dataset(
+        cls,
+        key: str,
+        num_layers: int = 2,
+        k: int = 10,
+        batch_size: int = 3000,
+        feature_dim: int = 128,
+        update_fraction: float = 0.01,
+        model_name: str = "graphsage",
+    ) -> "WorkloadProfile":
+        """Full-paper-scale profile for one of the Table II datasets."""
+        info: DatasetInfo = DATASETS[key]
+        return cls(
+            name=key,
+            num_nodes=info.num_nodes,
+            num_edges=info.num_edges,
+            avg_degree=info.avg_degree,
+            num_layers=num_layers,
+            k=k,
+            batch_size=batch_size,
+            feature_dim=feature_dim,
+            update_fraction=update_fraction,
+            model_name=model_name,
+        )
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: COOGraph,
+        num_layers: int = 2,
+        k: int = 10,
+        batch_size: int = 3000,
+        feature_dim: int = 128,
+        update_fraction: float = 0.01,
+        model_name: str = "graphsage",
+        name: Optional[str] = None,
+    ) -> "WorkloadProfile":
+        """Profile describing an in-memory graph."""
+        return cls(
+            name=name or graph.name or "graph",
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            avg_degree=graph.avg_degree,
+            num_layers=num_layers,
+            k=k,
+            batch_size=min(batch_size, max(graph.num_nodes, 1)),
+            feature_dim=feature_dim,
+            update_fraction=update_fraction,
+            model_name=model_name,
+        )

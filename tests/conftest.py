@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import HardwareConfig
+from repro.graph.coo import COOGraph
+from repro.graph.convert import coo_to_csc
+from repro.graph.generators import GraphSpec, power_law_graph
+
+
+@pytest.fixture
+def small_graph() -> COOGraph:
+    """A small random graph exercised by most functional tests."""
+    return power_law_graph(GraphSpec(num_nodes=60, num_edges=400, degree_skew=0.4, seed=7))
+
+
+@pytest.fixture
+def medium_graph() -> COOGraph:
+    """A medium synthetic graph for kernel-level tests."""
+    return power_law_graph(GraphSpec(num_nodes=300, num_edges=3000, degree_skew=0.6, seed=11))
+
+
+@pytest.fixture
+def small_csc(small_graph):
+    """CSC conversion of the small graph."""
+    return coo_to_csc(small_graph)
+
+
+@pytest.fixture
+def tiny_hardware() -> HardwareConfig:
+    """A deliberately tiny hardware configuration for detailed emulation."""
+    return HardwareConfig(num_upes=4, upe_width=16, num_scrs=2, scr_width=32)

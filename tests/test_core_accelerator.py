@@ -1,0 +1,94 @@
+"""End-to-end tests of the AutoGNN device simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import AutoGNNDevice
+from repro.core.config import HardwareConfig
+from repro.graph.convert import coo_to_csc, validate_conversion
+from repro.preprocessing.pipeline import PreprocessingConfig
+
+
+@pytest.fixture
+def device():
+    return AutoGNNDevice(HardwareConfig(num_upes=8, upe_width=32, num_scrs=2, scr_width=64))
+
+
+class TestConvert:
+    def test_conversion_correct(self, device, medium_graph):
+        ordered, csc, ordering_cycles, reshaping_cycles = device.convert(medium_graph)
+        assert validate_conversion(medium_graph, csc)
+        assert ordered.is_sorted()
+        assert ordering_cycles > 0
+        assert reshaping_cycles > 0
+
+
+class TestPreprocess:
+    def test_end_to_end_produces_consistent_subgraph(self, device, medium_graph):
+        out = device.preprocess(medium_graph, PreprocessingConfig(batch_size=16, k=3, num_layers=2))
+        result = out.result
+        # Full-graph CSC matches the reference conversion.
+        reference = coo_to_csc(medium_graph)
+        assert np.array_equal(result.csc.indptr, reference.indptr)
+        # The subgraph CSC is the conversion of the reindexed edges.
+        rebuilt = coo_to_csc(result.reindex.edges)
+        assert np.array_equal(result.subgraph_csc.indptr, rebuilt.indptr)
+        # Sampled edges exist in the original graph (after mapping back).
+        inverse = result.reindex.original_vids
+        for src, dst in zip(result.reindex.edges.src.tolist(), result.reindex.edges.dst.tolist()):
+            orig_src, orig_dst = int(inverse[src]), int(inverse[dst])
+            assert orig_src in reference.in_neighbors(orig_dst).tolist()
+
+    def test_timing_components_positive(self, device, medium_graph):
+        out = device.preprocess(medium_graph, PreprocessingConfig(batch_size=16, k=3, num_layers=2))
+        timing = out.timing
+        assert timing.ordering_cycles > 0
+        assert timing.reshaping_cycles > 0
+        assert timing.selecting_cycles > 0
+        assert timing.reindexing_cycles > 0
+        assert timing.total_cycles == sum(timing.breakdown().values())
+        assert timing.total_seconds > 0
+        assert 0 <= timing.bandwidth_utilization() <= 1
+
+    def test_detailed_matches_fast(self, small_graph, tiny_hardware):
+        cfg = PreprocessingConfig(batch_size=6, k=2, num_layers=2, seed=3)
+        fast = AutoGNNDevice(tiny_hardware, detailed=False).preprocess(small_graph, cfg)
+        detailed = AutoGNNDevice(tiny_hardware, detailed=True).preprocess(small_graph, cfg)
+        # The full-graph conversion is deterministic, so both modes agree on it.
+        assert np.array_equal(fast.result.csc.indptr, detailed.result.csc.indptr)
+        assert np.array_equal(fast.result.ordered.dst, detailed.result.ordered.dst)
+
+    def test_detailed_matches_fast_conversion_cycles(self, small_graph, tiny_hardware):
+        _, fast_csc, fast_ord, fast_resh = AutoGNNDevice(
+            tiny_hardware, detailed=False
+        ).convert(small_graph)
+        _, det_csc, det_ord, det_resh = AutoGNNDevice(
+            tiny_hardware, detailed=True
+        ).convert(small_graph)
+        assert np.array_equal(fast_csc.indptr, det_csc.indptr)
+        assert fast_ord == det_ord
+        assert fast_resh == det_resh
+
+    def test_explicit_batch_nodes(self, device, small_graph):
+        out = device.preprocess(
+            small_graph, PreprocessingConfig(k=2, num_layers=1), batch_nodes=[0, 1]
+        )
+        assert set(out.result.sample.batch_nodes.tolist()) == {0, 1}
+
+    def test_reconfigure_swaps_kernels(self, device, small_graph):
+        new_config = HardwareConfig(num_upes=4, upe_width=16, num_scrs=1, scr_width=32)
+        before = device.preprocess(small_graph, PreprocessingConfig(batch_size=4, k=2, num_layers=1))
+        device.reconfigure(new_config)
+        after = device.preprocess(small_graph, PreprocessingConfig(batch_size=4, k=2, num_layers=1))
+        assert device.config is new_config
+        assert after.config is new_config
+        # Different hardware, different cycle counts (smaller config is slower).
+        assert after.timing.ordering_cycles >= before.timing.ordering_cycles
+
+    def test_more_upes_fewer_ordering_cycles(self, medium_graph):
+        small = AutoGNNDevice(HardwareConfig(num_upes=2, upe_width=32, num_scrs=1, scr_width=64))
+        large = AutoGNNDevice(HardwareConfig(num_upes=32, upe_width=32, num_scrs=1, scr_width=64))
+        cfg = PreprocessingConfig(batch_size=8, k=3, num_layers=2)
+        a = small.preprocess(medium_graph, cfg)
+        b = large.preprocess(medium_graph, cfg)
+        assert b.timing.ordering_cycles < a.timing.ordering_cycles

@@ -1,0 +1,140 @@
+"""Tests for hardware configuration, bitstreams and reconfiguration."""
+
+import pytest
+
+from repro.core.bitstream import BitstreamLibrary, generate_bitstream_library
+from repro.core.config import (
+    DEFAULT_HARDWARE,
+    FPGAResources,
+    HardwareConfig,
+    VPK180,
+    max_scr_width_for_budget,
+    max_upes_for_budget,
+    scaled_default_config,
+)
+from repro.core.reconfig import (
+    FULL_RECONFIG_SECONDS,
+    REGION_RECONFIG_SECONDS,
+    ReconfigurationController,
+    icap_program_time,
+)
+
+
+class TestHardwareConfig:
+    def test_default_fits_board(self):
+        assert DEFAULT_HARDWARE.fits()
+        assert 0 < DEFAULT_HARDWARE.utilization() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(num_upes=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(upe_width=48)  # not a power of two
+        with pytest.raises(ValueError):
+            HardwareConfig(scr_width=0)
+        with pytest.raises(ValueError):
+            HardwareConfig(scr_area_fraction=1.5)
+
+    def test_with_upe_and_scr(self):
+        cfg = HardwareConfig(num_upes=8, upe_width=64, num_scrs=2, scr_width=64)
+        assert cfg.with_upe(num_upes=4).num_upes == 4
+        assert cfg.with_upe(upe_width=32).upe_width == 32
+        assert cfg.with_scr(num_scrs=4).num_scrs == 4
+        assert cfg.key() != cfg.with_scr(scr_width=128).key()
+
+    def test_lut_accounting(self):
+        cfg = HardwareConfig(num_upes=2, upe_width=64, num_scrs=1, scr_width=64)
+        assert cfg.upe_luts == 2 * 64 * 180
+        assert cfg.scr_luts == 64 * 36
+        assert cfg.total_luts == cfg.upe_luts + cfg.scr_luts
+
+    def test_budget_helpers(self):
+        assert max_upes_for_budget(180 * 64 * 10, 64) == 10
+        assert max_scr_width_for_budget(36 * 100, 1) == 64
+        assert max_scr_width_for_budget(1, 1) == 1
+
+    def test_scaled_default_for_small_board(self):
+        small = FPGAResources(name="small", luts=400_000, price_usd=1000)
+        cfg = scaled_default_config(small)
+        assert cfg.fits()
+        assert cfg.board is small
+
+    def test_region_budgets_split(self):
+        cfg = DEFAULT_HARDWARE
+        total = cfg.board.reconfigurable_luts()
+        assert cfg.upe_region_budget() + cfg.scr_region_budget() == pytest.approx(total, abs=2)
+
+
+class TestBitstreamLibrary:
+    def test_generation_counts(self):
+        library = generate_bitstream_library()
+        assert 1 <= len(library.upe_variants) <= 10
+        assert 1 <= len(library.scr_variants) <= 10
+        assert library.num_variants == len(library.upe_variants) + len(library.scr_variants)
+
+    def test_width_halving_series(self):
+        library = generate_bitstream_library()
+        widths = [b.width for b in library.upe_variants]
+        counts = [b.count for b in library.upe_variants]
+        for i in range(1, len(widths)):
+            assert widths[i] == widths[i - 1] // 2
+            assert counts[i] == counts[i - 1] * 2
+
+    def test_find(self):
+        library = generate_bitstream_library()
+        first = library.upe_variants[0]
+        assert library.find("upe", first.count, first.width) is first
+        assert library.find("upe", 99999, 3) is None
+
+    def test_configurations_fit(self):
+        library = generate_bitstream_library()
+        for config in library.configurations():
+            assert config.fits(), config.key()
+
+    def test_default_config_is_in_library(self):
+        library = generate_bitstream_library()
+        keys = {c.key() for c in library.configurations()}
+        assert scaled_default_config().key() in keys
+
+    def test_total_bytes(self):
+        library = generate_bitstream_library()
+        assert library.total_bytes == library.num_variants * 50 * 1024 * 1024
+
+
+class TestReconfiguration:
+    def test_no_change_is_free(self):
+        library = generate_bitstream_library()
+        config = library.configurations()[0]
+        controller = ReconfigurationController(library, config)
+        assert controller.reconfigure(config) is None
+        assert controller.num_reconfigurations == 0
+
+    def test_single_region_cheaper_than_both(self):
+        library = generate_bitstream_library()
+        configs = library.configurations()
+        base = configs[0]
+        controller = ReconfigurationController(library, base)
+        scr_only = library.config_for(library.upe_variants[0], library.scr_variants[1])
+        event = controller.reconfigure(scr_only)
+        assert event.regions == ("scr",)
+        assert event.latency_seconds == pytest.approx(REGION_RECONFIG_SECONDS)
+        both = library.config_for(library.upe_variants[1], library.scr_variants[0])
+        event = controller.reconfigure(both)
+        assert set(event.regions) == {"upe", "scr"}
+        assert event.latency_seconds == pytest.approx(FULL_RECONFIG_SECONDS)
+        assert controller.total_reconfig_seconds > 0
+
+    def test_missing_bitstream_rejected(self):
+        library = generate_bitstream_library()
+        base = library.configurations()[0]
+        controller = ReconfigurationController(library, base)
+        bogus = HardwareConfig(num_upes=3, upe_width=64, num_scrs=1, scr_width=64)
+        with pytest.raises(KeyError):
+            controller.reconfigure(bogus)
+
+    def test_full_reconfig_matches_paper_magnitude(self):
+        # The paper reports ~230 ms for a full reconfiguration.
+        assert 0.2 <= FULL_RECONFIG_SECONDS <= 0.26
+
+    def test_icap_time_scales_with_size(self):
+        assert icap_program_time(50 * 1024 * 1024) > icap_program_time(10 * 1024 * 1024)

@@ -1,0 +1,119 @@
+"""Tests for the Table I cost model."""
+
+import pytest
+
+from repro.core.config import HardwareConfig
+from repro.core.cost_model import CostModel, WorkloadParams
+
+
+@pytest.fixture
+def workload():
+    return WorkloadParams(num_nodes=100_000, num_edges=5_000_000, num_layers=2, k=10, batch_size=1000)
+
+
+@pytest.fixture
+def config():
+    return HardwareConfig(num_upes=64, upe_width=64, num_scrs=4, scr_width=1024)
+
+
+class TestFormulas:
+    def test_merge_rounds(self):
+        assert CostModel.merge_rounds(64, 64) == 0
+        assert CostModel.merge_rounds(1024, 64) == 3
+        assert CostModel.merge_rounds(10_000, 64) == 7
+
+    def test_ordering_matches_table1(self, workload, config):
+        model = CostModel()
+        m = CostModel.merge_rounds(workload.num_edges, config.upe_width)
+        expected = 2 * m * workload.num_edges / (config.num_upes * config.upe_width)
+        assert model.ordering_cycles(workload, config) == pytest.approx(expected)
+
+    def test_ordering_zero_edges(self, config):
+        model = CostModel()
+        empty = WorkloadParams(num_nodes=10, num_edges=0)
+        assert model.ordering_cycles(empty, config) == 0.0
+
+    def test_selecting_matches_table1(self, workload, config):
+        model = CostModel()
+        expected = workload.total_selections / config.num_upes
+        assert model.selecting_cycles(workload, config) == pytest.approx(expected)
+
+    def test_reshaping_matches_table1(self, workload, config):
+        model = CostModel()
+        expected = max(
+            workload.num_nodes / config.num_scrs,
+            workload.num_edges / config.scr_width,
+        )
+        assert model.reshaping_cycles(workload, config) == pytest.approx(expected)
+
+    def test_total_selections_geometric_series(self):
+        w = WorkloadParams(num_nodes=10**6, num_edges=10**7, num_layers=2, k=10, batch_size=3000)
+        assert w.total_selections == 3000 * 111
+        w1 = WorkloadParams(num_nodes=10**6, num_edges=10**7, num_layers=1, k=1, batch_size=5)
+        assert w1.total_selections == 10
+
+    def test_per_seed_subgraph_nodes(self):
+        w = WorkloadParams(num_nodes=10**6, num_edges=10**7, num_layers=2, k=10, batch_size=3000)
+        assert w.per_seed_subgraph_nodes == 111
+        small = WorkloadParams(num_nodes=50, num_edges=500, num_layers=2, k=10, batch_size=3)
+        assert small.per_seed_subgraph_nodes == 50
+
+
+class TestScaling:
+    def test_more_upes_less_selection_time(self, workload):
+        model = CostModel()
+        small = HardwareConfig(num_upes=16, upe_width=64)
+        big = HardwareConfig(num_upes=256, upe_width=64)
+        assert model.selecting_cycles(workload, big) < model.selecting_cycles(workload, small)
+
+    def test_wider_scr_less_reshaping_until_node_bound(self, workload):
+        model = CostModel()
+        narrow = HardwareConfig(num_scrs=1, scr_width=64)
+        wide = HardwareConfig(num_scrs=1, scr_width=4096)
+        assert model.reshaping_cycles(workload, wide) <= model.reshaping_cycles(workload, narrow)
+
+    def test_reshaping_saturates_at_node_bound(self, workload):
+        # Beyond a certain width, the node-side term dominates (Fig. 23a).
+        model = CostModel()
+        wide = HardwareConfig(num_scrs=1, scr_width=4096)
+        wider = HardwareConfig(num_scrs=1, scr_width=8192)
+        assert model.reshaping_cycles(workload, wide) == model.reshaping_cycles(workload, wider)
+
+    def test_estimate_latency_positive(self, workload, config):
+        estimate = CostModel().estimate(workload, config)
+        assert estimate.total_cycles > 0
+        assert estimate.latency_seconds() > 0
+        assert set(estimate.breakdown()) == {"ordering", "selecting", "reshaping", "reindexing"}
+
+
+class TestSelection:
+    def test_best_configuration_picks_lowest(self, workload):
+        model = CostModel()
+        candidates = [
+            HardwareConfig(num_upes=4, upe_width=64, num_scrs=1, scr_width=64),
+            HardwareConfig(num_upes=128, upe_width=64, num_scrs=8, scr_width=1024),
+        ]
+        best, estimate = model.best_configuration(workload, candidates)
+        assert best is candidates[1]
+        assert estimate.total_cycles <= model.estimate(workload, candidates[0]).total_cycles
+
+    def test_best_configuration_empty_raises(self, workload):
+        with pytest.raises(ValueError):
+            CostModel().best_configuration(workload, [])
+
+    def test_rank_configurations_sorted(self, workload):
+        model = CostModel()
+        candidates = [
+            HardwareConfig(num_upes=4, upe_width=64, num_scrs=1, scr_width=64),
+            HardwareConfig(num_upes=32, upe_width=64, num_scrs=2, scr_width=512),
+            HardwareConfig(num_upes=128, upe_width=64, num_scrs=8, scr_width=1024),
+        ]
+        ranked = model.rank_configurations(workload, candidates)
+        totals = [est.total_cycles for _, est in ranked]
+        assert totals == sorted(totals)
+
+    def test_from_graph_constructor(self, small_graph):
+        params = WorkloadParams.from_graph(small_graph, num_layers=3, k=5, batch_size=7)
+        assert params.num_nodes == small_graph.num_nodes
+        assert params.num_edges == small_graph.num_edges
+        assert params.num_layers == 3

@@ -1,0 +1,132 @@
+"""Tests for GNN layers, models and embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.embeddings import EmbeddingTable
+from repro.gnn.layers import (
+    LinearTransform,
+    MLPTransform,
+    attention_aggregate,
+    max_aggregate,
+    mean_aggregate,
+    sum_aggregate,
+)
+from repro.gnn.models import GAT, GCN, GIN, MODEL_REGISTRY, GraphSAGE, build_model
+from repro.graph.csc import CSCGraph
+from repro.graph.convert import coo_to_csc
+from repro.graph.reindex import reindex_edges
+
+
+@pytest.fixture
+def csc():
+    # dst 0 <- {1, 2}, dst 1 <- {2}, dst 2 <- {}
+    return CSCGraph(indptr=np.array([0, 2, 3, 3]), indices=np.array([1, 2, 2]), num_nodes=3)
+
+
+@pytest.fixture
+def features():
+    return np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+
+
+class TestAggregation:
+    def test_mean(self, csc, features):
+        out = mean_aggregate(csc, features)
+        assert np.allclose(out[0], [4.0, 5.0])
+        assert np.allclose(out[1], [5.0, 6.0])
+        assert np.allclose(out[2], [0.0, 0.0])
+
+    def test_sum(self, csc, features):
+        out = sum_aggregate(csc, features)
+        assert np.allclose(out[0], [8.0, 10.0])
+
+    def test_max(self, csc, features):
+        out = max_aggregate(csc, features)
+        assert np.allclose(out[0], [5.0, 6.0])
+
+    def test_attention_weights_sum_to_one(self, csc, features):
+        attn_src = np.array([0.5, -0.2, 0.9])
+        attn_dst = np.array([0.1, 0.3, 0.0])
+        out = attention_aggregate(csc, features, attn_src, attn_dst)
+        # The attended embedding of node 0 lies in the convex hull of its
+        # neighbours' features.
+        assert features[[1, 2], 0].min() <= out[0, 0] <= features[[1, 2], 0].max()
+
+
+class TestTransforms:
+    def test_linear_shapes(self):
+        layer = LinearTransform.random(4, 8, seed=0)
+        out = layer(np.ones((5, 4)))
+        assert out.shape == (5, 8)
+        assert np.all(out >= 0)  # ReLU active
+
+    def test_linear_no_activation(self):
+        layer = LinearTransform.random(4, 4, seed=1, activation=False)
+        out = layer(-np.ones((2, 4)))
+        assert out.shape == (2, 4)
+
+    def test_linear_flops(self):
+        layer = LinearTransform.random(4, 8)
+        assert layer.flops(10) == 2 * 10 * 4 * 8
+
+    def test_mlp(self):
+        mlp = MLPTransform.random(4, 16, 8, seed=2)
+        out = mlp(np.ones((3, 4)))
+        assert out.shape == (3, 8)
+        assert mlp.flops(3) == mlp.first.flops(3) + mlp.second.flops(3)
+
+
+class TestModels:
+    @pytest.mark.parametrize("name", ["gin", "graphsage", "gcn", "gat"])
+    def test_forward_shapes(self, name, small_graph):
+        csc = coo_to_csc(small_graph)
+        model = build_model(name, in_dim=8, hidden_dim=8, num_layers=2)
+        features = np.random.default_rng(0).normal(size=(csc.num_nodes, 8))
+        out = model.forward(csc, features)
+        assert out.shape == (csc.num_nodes, 8)
+        assert np.all(np.isfinite(out))
+
+    def test_registry_order_by_intensity(self):
+        assert list(MODEL_REGISTRY) == ["gin", "graphsage", "gcn", "gat"]
+        flops = [MODEL_REGISTRY[m](in_dim=64, hidden_dim=64).flops(1000, 10_000) for m in MODEL_REGISTRY]
+        assert flops == sorted(flops)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("transformer")
+
+    def test_flops_scale_with_graph(self):
+        model = GraphSAGE(in_dim=32, hidden_dim=32)
+        assert model.flops(100, 1000) < model.flops(1000, 10_000)
+
+    def test_deterministic_weights(self, csc, features):
+        a = GCN(in_dim=2, hidden_dim=2, seed=5).forward(csc, features)
+        b = GCN(in_dim=2, hidden_dim=2, seed=5).forward(csc, features)
+        assert np.allclose(a, b)
+
+
+class TestEmbeddings:
+    def test_random_table(self):
+        table = EmbeddingTable.random(10, dim=4, seed=0)
+        assert table.num_nodes == 10
+        assert table.dim == 4
+        assert table.nbytes > 0
+
+    def test_lookup(self):
+        table = EmbeddingTable(features=np.arange(20, dtype=float).reshape(10, 2))
+        rows = table.lookup(np.array([1, 3]))
+        assert np.array_equal(rows, [[2, 3], [6, 7]])
+
+    def test_gather_subgraph(self):
+        table = EmbeddingTable(features=np.arange(20, dtype=float).reshape(10, 2))
+        result = reindex_edges(np.array([4]), np.array([7]))
+        sub = table.gather_subgraph(result)
+        assert sub.num_nodes == 2
+        assert np.array_equal(sub.features[result.mapping[7]], table.features[7])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            EmbeddingTable(features=np.zeros(5))
+
+    def test_zeros(self):
+        assert EmbeddingTable.zeros(3, dim=2).features.sum() == 0

@@ -1,0 +1,85 @@
+"""Tests for the CSC graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csc import CSCGraph
+
+
+def make_csc():
+    # Graph: dst 0 <- {1, 2}, dst 1 <- {0}, dst 2 <- {}
+    return CSCGraph(indptr=np.array([0, 2, 3, 3]), indices=np.array([1, 2, 0]), num_nodes=3)
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = make_csc()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert len(g) == 3
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(ValueError):
+            CSCGraph(indptr=np.array([0, 1]), indices=np.array([0]), num_nodes=3)
+
+    def test_indptr_tail_mismatch(self):
+        with pytest.raises(ValueError):
+            CSCGraph(indptr=np.array([0, 1, 5, 5]), indices=np.array([0]), num_nodes=3)
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSCGraph(indptr=np.array([0, 2, 1, 3]), indices=np.array([0, 1, 2]), num_nodes=3)
+
+    def test_empty_factory(self):
+        g = CSCGraph.empty(4)
+        assert g.num_edges == 0
+        assert g.in_degree(3) == 0
+
+
+class TestQueries:
+    def test_in_neighbors(self):
+        g = make_csc()
+        assert g.in_neighbors(0).tolist() == [1, 2]
+        assert g.in_neighbors(1).tolist() == [0]
+        assert g.in_neighbors(2).tolist() == []
+
+    def test_in_neighbors_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_csc().in_neighbors(3)
+
+    def test_in_degree(self):
+        g = make_csc()
+        assert g.in_degree(0) == 2
+        assert g.in_degree(2) == 0
+        with pytest.raises(IndexError):
+            g.in_degree(-1)
+
+    def test_in_degrees_vector(self):
+        assert make_csc().in_degrees().tolist() == [2, 1, 0]
+
+    def test_avg_degree(self):
+        assert make_csc().avg_degree == pytest.approx(1.0)
+
+    def test_iter_edges(self):
+        edges = list(make_csc().iter_edges())
+        assert edges == [(1, 0), (2, 0), (0, 1)]
+
+    def test_edge_arrays(self):
+        src, dst = make_csc().edge_arrays()
+        assert src.tolist() == [1, 2, 0]
+        assert dst.tolist() == [0, 0, 1]
+
+    def test_validate_detects_bad_indices(self):
+        g = make_csc()
+        g.indices = np.array([1, 5, 0])
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_copy_independent(self):
+        g = make_csc()
+        c = g.copy()
+        c.indices[0] = 2
+        assert g.indices[0] == 1
+
+    def test_nbytes_positive(self):
+        assert make_csc().nbytes() > 0

@@ -1,0 +1,123 @@
+"""Tests for neighbour sampling (unique random selection)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.convert import coo_to_csc
+from repro.graph.generators import GraphSpec, power_law_graph
+from repro.graph.sampling import (
+    expected_sampled_nodes,
+    layer_wise_sample,
+    node_wise_sample,
+    sample_neighbors,
+)
+
+
+@pytest.fixture
+def csc():
+    graph = power_law_graph(GraphSpec(num_nodes=80, num_edges=900, degree_skew=0.5, seed=5))
+    return coo_to_csc(graph)
+
+
+class TestSampleNeighbors:
+    def test_returns_at_most_k(self, csc):
+        rng = np.random.default_rng(0)
+        for node in range(csc.num_nodes):
+            picked = sample_neighbors(csc, node, 3, rng)
+            assert len(picked) <= 3
+
+    def test_unique(self, csc):
+        rng = np.random.default_rng(1)
+        for node in range(csc.num_nodes):
+            picked = sample_neighbors(csc, node, 5, rng)
+            assert len(set(picked.tolist())) == len(picked)
+
+    def test_subset_of_neighbors(self, csc):
+        rng = np.random.default_rng(2)
+        for node in range(0, csc.num_nodes, 7):
+            picked = set(sample_neighbors(csc, node, 4, rng).tolist())
+            assert picked.issubset(set(csc.in_neighbors(node).tolist()))
+
+    def test_small_neighborhood_returned_whole(self, csc):
+        rng = np.random.default_rng(3)
+        for node in range(csc.num_nodes):
+            neighbors = np.unique(csc.in_neighbors(node))
+            if neighbors.size <= 2:
+                picked = sample_neighbors(csc, node, 10, rng)
+                assert sorted(picked.tolist()) == sorted(neighbors.tolist())
+
+
+class TestNodeWise:
+    def test_layer_count(self, csc):
+        sample = node_wise_sample(csc, [0, 1, 2], k=3, num_layers=2, seed=0)
+        assert sample.num_layers <= 2
+
+    def test_edges_point_to_frontier(self, csc):
+        batch = [0, 5, 9]
+        sample = node_wise_sample(csc, batch, k=3, num_layers=1, seed=1)
+        layer = sample.layers[-1]
+        assert set(layer.dst.tolist()).issubset(set(batch))
+
+    def test_edges_exist_in_graph(self, csc):
+        sample = node_wise_sample(csc, [0, 1], k=4, num_layers=2, seed=2)
+        for layer in sample.layers:
+            for src, dst in zip(layer.src.tolist(), layer.dst.tolist()):
+                assert src in csc.in_neighbors(dst).tolist()
+
+    def test_sampled_nodes_cover_edges(self, csc):
+        sample = node_wise_sample(csc, [3, 4], k=3, num_layers=2, seed=3)
+        touched = set(sample.batch_nodes.tolist())
+        for layer in sample.layers:
+            touched.update(layer.src.tolist())
+            touched.update(layer.dst.tolist())
+        assert touched.issubset(set(sample.sampled_nodes.tolist()))
+
+    def test_per_node_cap(self, csc):
+        k = 4
+        sample = node_wise_sample(csc, [0, 1, 2, 3], k=k, num_layers=2, seed=4)
+        for layer in sample.layers:
+            dst, counts = np.unique(layer.dst, return_counts=True)
+            assert np.all(counts <= k)
+
+    def test_deterministic_seed(self, csc):
+        a = node_wise_sample(csc, [0, 1], k=3, num_layers=2, seed=9)
+        b = node_wise_sample(csc, [0, 1], k=3, num_layers=2, seed=9)
+        assert np.array_equal(a.sampled_nodes, b.sampled_nodes)
+
+    def test_all_edges_concatenation(self, csc):
+        sample = node_wise_sample(csc, [0, 1], k=3, num_layers=2, seed=5)
+        combined = sample.all_edges()
+        assert combined.num_edges == sample.num_sampled_edges
+
+
+class TestLayerWise:
+    def test_k_per_layer(self, csc):
+        k = 5
+        sample = layer_wise_sample(csc, [0, 1, 2], k=k, num_layers=2, seed=0)
+        for layer in sample.layers:
+            assert len(np.unique(layer.src)) <= k
+
+    def test_edges_exist_in_graph(self, csc):
+        sample = layer_wise_sample(csc, [0, 1], k=4, num_layers=2, seed=1)
+        for layer in sample.layers:
+            for src, dst in zip(layer.src.tolist(), layer.dst.tolist()):
+                assert src in csc.in_neighbors(dst).tolist()
+
+    def test_fewer_or_equal_edges_than_node_wise(self, csc):
+        node = node_wise_sample(csc, list(range(10)), k=5, num_layers=2, seed=2)
+        layer = layer_wise_sample(csc, list(range(10)), k=5, num_layers=2, seed=2)
+        assert layer.num_sampled_nodes <= node.num_sampled_nodes + 10
+
+
+class TestBounds:
+    def test_expected_sampled_nodes_geometric(self):
+        assert expected_sampled_nodes(1, 10, 2) == 111
+        assert expected_sampled_nodes(2, 10, 2) == 222
+
+    def test_expected_sampled_nodes_k1(self):
+        assert expected_sampled_nodes(3, 1, 2) == 9
+
+    def test_sample_never_exceeds_bound(self, csc):
+        batch = list(range(5))
+        sample = node_wise_sample(csc, batch, k=3, num_layers=2, seed=6)
+        assert sample.num_sampled_nodes <= expected_sampled_nodes(5, 3, 2)

@@ -1,0 +1,87 @@
+"""Tests for the end-to-end GNN service and the Fig. 18 system set."""
+
+import pytest
+
+from repro.analysis.metrics import geometric_mean
+from repro.graph.datasets import DATASET_ORDER
+from repro.system.service import GNNService, build_reference_systems, build_services
+from repro.system.workload import WorkloadProfile
+
+
+@pytest.fixture(scope="module")
+def services():
+    return build_services()
+
+
+class TestReferenceSystems:
+    def test_seven_systems(self, services):
+        assert set(services) == {"CPU", "GPU", "GSamp", "FPGA", "AutoPre", "StatPre", "DynPre"}
+
+    def test_names_match_keys(self):
+        for key, system in build_reference_systems().items():
+            assert system.name == key
+
+
+class TestServe:
+    def test_report_components(self, services):
+        report = services["GPU"].serve(WorkloadProfile.from_dataset("AX"))
+        assert report.total_seconds > 0
+        assert 0 < report.preprocessing_share < 1
+        assert report.energy.total_joules > 0
+        breakdown = report.breakdown()
+        assert set(breakdown) >= {"ordering", "reshaping", "selecting", "reindexing", "transfer", "inference"}
+
+    def test_paper_ordering_of_systems(self, services):
+        """End-to-end latency ordering follows the paper: CPU > GPU > AutoGNN."""
+        w = WorkloadProfile.from_dataset("AM")
+        totals = {}
+        for name, service in services.items():
+            service.serve(w)
+            totals[name] = service.serve(w).total_seconds
+        assert totals["CPU"] > totals["GPU"]
+        assert totals["GPU"] > totals["StatPre"]
+        assert totals["GPU"] > totals["DynPre"]
+
+    def test_gpu_speedup_over_cpu_near_paper(self, services):
+        """Geomean GPU speedup over CPU lands in the paper's neighbourhood (3.4x)."""
+        ratios = []
+        for key in DATASET_ORDER:
+            w = WorkloadProfile.from_dataset(key)
+            cpu = services["CPU"].serve(w).total_seconds
+            gpu = services["GPU"].serve(w).total_seconds
+            ratios.append(cpu / gpu)
+        assert 2.0 <= geometric_mean(ratios) <= 5.5
+
+    def test_autognn_speedup_over_cpu_large(self, services):
+        """AutoGNN's end-to-end advantage grows with graph size."""
+        small = WorkloadProfile.from_dataset("PH")
+        large = WorkloadProfile.from_dataset("TB")
+        def ratio(w):
+            cpu = services["CPU"].serve(w).total_seconds
+            services["DynPre"].serve(w)
+            dyn = services["DynPre"].serve(w).total_seconds
+            return cpu / dyn
+        assert ratio(large) > ratio(small)
+
+    def test_preprocessing_share_grows_with_graph(self, services):
+        small = services["GPU"].serve(WorkloadProfile.from_dataset("PH"))
+        large = services["GPU"].serve(WorkloadProfile.from_dataset("TB"))
+        assert large.preprocessing_share > small.preprocessing_share
+
+    def test_energy_advantage_of_autognn(self, services):
+        w = WorkloadProfile.from_dataset("AM")
+        gpu = services["GPU"].serve(w)
+        services["DynPre"].serve(w)
+        dyn = services["DynPre"].serve(w)
+        assert dyn.energy.total_joules < gpu.energy.total_joules
+
+    def test_serve_many(self, services):
+        workloads = [WorkloadProfile.from_dataset(k) for k in ("PH", "AX")]
+        reports = services["CPU"].serve_many(workloads)
+        assert len(reports) == 2
+
+    def test_power_platform_defaults(self):
+        systems = build_reference_systems()
+        assert GNNService(systems["CPU"]).power.preprocessing_platform == "cpu"
+        assert GNNService(systems["GPU"]).power.preprocessing_platform == "gpu"
+        assert GNNService(systems["DynPre"]).power.preprocessing_platform == "fpga"

@@ -1,0 +1,153 @@
+"""Tests for the AutoGNN system variants and the AGNN-lib software layer."""
+
+import pytest
+
+from repro.core.bitstream import generate_bitstream_library
+from repro.core.config import scaled_default_config
+from repro.core.reconfig import FULL_RECONFIG_SECONDS
+from repro.system.agnn_lib import AGNNLib, GraphProfile
+from repro.system.variants import (
+    AutoPreSystem,
+    DynPreSystem,
+    StatPreSystem,
+    make_dyn_ablations,
+    tuned_config_for,
+)
+from repro.system.workload import WorkloadProfile
+
+
+@pytest.fixture
+def workload_large():
+    return WorkloadProfile.from_dataset("AM")
+
+
+@pytest.fixture
+def workload_small():
+    return WorkloadProfile.from_dataset("AX")
+
+
+class TestVariants:
+    def test_all_variants_positive_latency(self, workload_large):
+        for system in (AutoPreSystem(), StatPreSystem(), DynPreSystem()):
+            report = system.evaluate(workload_large)
+            assert report.preprocessing.total > 0
+            assert report.transfers.total > 0
+            assert 0 <= report.bandwidth_utilization <= 1
+
+    def test_autopre_not_faster_than_statpre(self, workload_large):
+        auto = AutoPreSystem().evaluate(workload_large)
+        stat = StatPreSystem().evaluate(workload_large)
+        assert stat.preprocessing.total <= auto.preprocessing.total * 1.001
+
+    def test_lut_utilization_ordering(self, workload_large):
+        auto = AutoPreSystem().evaluate(workload_large)
+        stat = StatPreSystem().evaluate(workload_large)
+        assert auto.extras["lut_utilization"] < stat.extras["lut_utilization"]
+        assert 0 < auto.extras["lut_utilization"] < 1
+        assert 0 < stat.extras["lut_utilization"] <= 1
+
+    def test_transfers_only_updates_and_subgraph(self, workload_large):
+        report = StatPreSystem().evaluate(workload_large)
+        assert report.transfers.host_to_gpu == 0.0
+        assert report.transfers.gpu_to_accelerator == 0.0
+        assert report.transfers.host_to_accelerator > 0
+        assert report.transfers.accelerator_to_gpu > 0
+
+    def test_autognn_beats_gpu_baseline(self, workload_large):
+        from repro.baselines.gpu import GPUPreprocessingSystem
+
+        gpu = GPUPreprocessingSystem().evaluate(workload_large)
+        stat = StatPreSystem().evaluate(workload_large)
+        assert stat.total < gpu.total
+
+    def test_tuned_config_fits(self, workload_small):
+        library = generate_bitstream_library()
+        config = tuned_config_for(workload_small, library)
+        assert config.fits()
+
+    def test_statpre_tuned_for(self, workload_small):
+        system = StatPreSystem.tuned_for(workload_small)
+        assert system.config.fits()
+
+
+class TestDynPre:
+    def test_reconfigures_for_new_workload(self, workload_small, workload_large):
+        system = DynPreSystem()
+        first = system.evaluate(workload_small)
+        config_after_small = system.config.key()
+        second = system.evaluate(workload_large)
+        # Either the configuration changed (reconfiguration charged) or the
+        # cost model judged the current one adequate.
+        if system.config.key() != config_after_small:
+            assert second.reconfiguration > 0
+        else:
+            assert second.reconfiguration == 0.0
+
+    def test_steady_state_has_no_reconfiguration(self, workload_large):
+        system = DynPreSystem()
+        system.evaluate(workload_large)
+        steady = system.evaluate(workload_large)
+        assert steady.reconfiguration == 0.0
+
+    def test_reconfiguration_bounded_by_full_cost(self, workload_small):
+        system = DynPreSystem()
+        report = system.evaluate(workload_small)
+        assert report.reconfiguration <= FULL_RECONFIG_SECONDS + 1e-9
+
+    def test_dynpre_not_worse_than_statpre_steady_state(self, workload_small):
+        tuned_mv = tuned_config_for(WorkloadProfile.from_dataset("MV"), generate_bitstream_library())
+        stat = StatPreSystem(config=tuned_mv)
+        dyn = DynPreSystem(config=tuned_mv)
+        dyn.evaluate(workload_small)  # allow reconfiguration
+        stat_report = stat.evaluate(workload_small)
+        dyn_report = dyn.evaluate(workload_small)
+        assert dyn_report.preprocessing.total <= stat_report.preprocessing.total * 1.001
+
+    def test_ablation_ladder(self, workload_small):
+        ablations = make_dyn_ablations()
+        names = list(ablations)
+        assert names == ["StatPre", "DynArea", "DynSCR", "DynUPE"]
+        totals = {}
+        for name, system in ablations.items():
+            system.evaluate(workload_small)  # warm/reconfigure
+            totals[name] = system.evaluate(workload_small).preprocessing.total
+        # Each additional degree of freedom must not hurt steady-state latency.
+        assert totals["DynSCR"] <= totals["DynArea"] * 1.001
+        assert totals["DynUPE"] <= totals["DynSCR"] * 1.001
+
+
+class TestAGNNLib:
+    def test_upload_full_then_incremental(self, small_graph):
+        lib = AGNNLib()
+        first = lib.upload_graph(small_graph)
+        grown = small_graph.add_edges([0, 1], [2, 3])
+        second = lib.update_graph(grown)
+        assert first > 0
+        assert second <= first
+        assert lib.profile.num_edges == grown.num_edges
+
+    def test_profile_fields(self, small_graph):
+        profile = GraphProfile.from_graph(small_graph)
+        assert profile.num_nodes == small_graph.num_nodes
+        assert profile.max_degree >= profile.avg_degree
+        workload = profile.to_workload(k=3, num_layers=2, batch_size=10)
+        assert workload.k == 3
+
+    def test_reconfiguration_decision_and_apply(self):
+        lib = AGNNLib()
+        workload = WorkloadProfile.from_dataset("SO")
+        decision = lib.evaluate_reconfiguration(workload)
+        assert decision.predicted_improvement >= 0 or not decision.reconfigure
+        event = lib.apply_reconfiguration(decision)
+        if decision.reconfigure:
+            assert event is not None
+            assert lib.config.key() == decision.target.key()
+        else:
+            assert event is None
+
+    def test_prepare_idempotent(self):
+        lib = AGNNLib()
+        workload = WorkloadProfile.from_dataset("AM")
+        _, first_cost = lib.prepare(workload)
+        _, second_cost = lib.prepare(workload)
+        assert second_cost == 0.0
