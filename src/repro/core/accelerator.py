@@ -20,6 +20,7 @@ from repro.core.config import DEFAULT_HARDWARE, HardwareConfig, KERNEL_CLOCK_HZ
 from repro.core.kernels import KernelStats, SCRKernel, UPEKernel
 from repro.graph.coo import COOGraph, VID_DTYPE
 from repro.graph.csc import CSCGraph
+from repro.graph.sampling import MODE_VECTORIZED, check_mode
 from repro.preprocessing.pipeline import PreprocessingConfig, PreprocessingResult
 
 #: Peak DRAM bandwidth of the device memory interface (bytes/second).  The
@@ -115,6 +116,9 @@ class AutoGNNDevice:
             correctness tests); the default fast path produces identical
             results and identical cycle counts through vectorised execution.
         clock_hz: kernel clock frequency.
+        mode: functional execution path of the non-detailed kernels —
+            ``"vectorized"`` (default) or ``"reference"``; both produce
+            bit-identical results and identical cycle counts.
     """
 
     def __init__(
@@ -122,12 +126,14 @@ class AutoGNNDevice:
         config: HardwareConfig = DEFAULT_HARDWARE,
         detailed: bool = False,
         clock_hz: float = KERNEL_CLOCK_HZ,
+        mode: str = MODE_VECTORIZED,
     ) -> None:
         self.config = config
         self.detailed = detailed
+        self.mode = check_mode(mode)
         self.clock_hz = clock_hz
-        self.upe_kernel = UPEKernel(config, detailed=detailed)
-        self.scr_kernel = SCRKernel(config, detailed=detailed)
+        self.upe_kernel = UPEKernel(config, detailed=detailed, mode=mode)
+        self.scr_kernel = SCRKernel(config, detailed=detailed, mode=mode)
 
     # ----------------------------------------------------------------- steps
     def convert(self, graph: COOGraph) -> tuple:
@@ -146,8 +152,24 @@ class AutoGNNDevice:
         config: Optional[PreprocessingConfig] = None,
         batch_nodes: Optional[Sequence[int]] = None,
     ) -> AcceleratedPreprocessing:
-        """Run the full preprocessing workflow of Fig. 14 on ``graph``."""
+        """Run the full preprocessing workflow of Fig. 14 on ``graph``.
+
+        A config with an explicitly chosen ``mode`` wins: the run is
+        delegated to a sibling device in the requested mode (identical
+        results and cycles either way — the mode only selects the execution
+        path).  A config whose ``mode`` is ``None`` inherits this device's
+        mode.
+        """
         workload = config or PreprocessingConfig()
+        requested = workload.mode or self.mode
+        if requested != self.mode:
+            sibling = AutoGNNDevice(
+                config=self.config,
+                detailed=self.detailed,
+                clock_hz=self.clock_hz,
+                mode=requested,
+            )
+            return sibling.preprocess(graph, workload, batch_nodes=batch_nodes)
         timing = PreprocessingTiming(clock_hz=self.clock_hz)
 
         # 1. Graph conversion of the input graph.
@@ -213,5 +235,5 @@ class AutoGNNDevice:
     def reconfigure(self, config: HardwareConfig) -> None:
         """Swap in a new hardware configuration (kernels are rebuilt)."""
         self.config = config
-        self.upe_kernel = UPEKernel(config, detailed=self.detailed)
-        self.scr_kernel = SCRKernel(config, detailed=self.detailed)
+        self.upe_kernel = UPEKernel(config, detailed=self.detailed, mode=self.mode)
+        self.scr_kernel = SCRKernel(config, detailed=self.detailed, mode=self.mode)

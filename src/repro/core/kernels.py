@@ -26,8 +26,18 @@ from repro.core.upe import CYCLES_PER_PARTITION_PASS, DEFAULT_RADIX_BITS, UPE
 from repro.graph.coo import COOGraph, VID_DTYPE
 from repro.graph.csc import CSCGraph
 from repro.graph.convert import build_pointer_array
-from repro.graph.reindex import ReindexResult
-from repro.graph.sampling import SampledSubgraph
+from repro.graph.reindex import (
+    ReindexResult,
+    interleave_endpoints,
+    reindex_edges,
+    reindex_mapping_sizes,
+)
+from repro.graph.sampling import (
+    MODE_VECTORIZED,
+    SampledSubgraph,
+    check_mode,
+    node_wise_sample_with_stats,
+)
 
 #: Per-neighbour-array overhead of the selection control path: building the
 #: index array plus the final bitmap-driven set-partition (Fig. 16).
@@ -94,7 +104,10 @@ def reshaping_cycle_count(
 
     Mirrors the reshaper walk: each segment of ``w_scr`` edges is compared
     against groups of ``n_scr`` target VIDs; only targets whose count can
-    still change (those not exceeding the segment maximum) are visited.
+    still change (those not exceeding the segment maximum) are visited.  The
+    walk is evaluated in closed form: because the column is sorted, each
+    segment's maximum is its last element, so the per-segment target spans
+    are differences of the padded segment maxima.
     """
     sorted_dst = np.asarray(sorted_dst, dtype=np.int64)
     num_edges = int(sorted_dst.shape[0])
@@ -102,17 +115,13 @@ def reshaping_cycle_count(
         return 0
     width = config.scr_width
     slots = config.num_scrs
-    cycles = 0
-    target = 0
     num_segments = int(math.ceil(num_edges / width))
-    for seg_index in range(num_segments):
-        seg = sorted_dst[seg_index * width : (seg_index + 1) * width]
-        seg_max = int(seg[-1])
-        last_target = min(seg_max + 1, num_nodes)
-        span = last_target - target + 1
-        cycles += int(math.ceil(span / slots))
-        target = last_target
-    return cycles
+    seg_ends = np.minimum(np.arange(1, num_segments + 1, dtype=np.int64) * width, num_edges)
+    seg_maxima = sorted_dst[seg_ends - 1]
+    last_targets = np.minimum(seg_maxima + 1, num_nodes)
+    prev_targets = np.concatenate([np.zeros(1, dtype=np.int64), last_targets[:-1]])
+    spans = last_targets - prev_targets + 1
+    return int(((spans + slots - 1) // slots).sum())
 
 
 def reshaping_cycle_estimate(num_edges: int, num_nodes: int, config: HardwareConfig) -> int:
@@ -148,11 +157,12 @@ def reindexing_cycle_count(
     one cycle per ``n_scr * w_scr`` mapping entries (a single cycle while the
     mapping fits in one scan, which is the common case for sampled subgraphs).
     """
+    sizes = np.asarray(mapping_sizes, dtype=np.int64)
+    if sizes.shape[0] == 0:
+        return 0
     width = reindexer_scan_width(config)
-    cycles = 0
-    for size in mapping_sizes:
-        cycles += max(int(math.ceil(size / width)), 1)
-    return cycles
+    scans = np.maximum((sizes + width - 1) // width, 1)
+    return int(scans.sum())
 
 
 def reindexing_cycle_estimate(num_endpoints: int, mapping_size: int, config: HardwareConfig) -> int:
@@ -201,11 +211,25 @@ class KernelStats:
 # UPE kernel
 # ---------------------------------------------------------------------------
 class UPEKernel:
-    """UPE controller + scheduler + scratchpad executing ordering and selection."""
+    """UPE controller + scheduler + scratchpad executing ordering and selection.
 
-    def __init__(self, config: HardwareConfig, detailed: bool = False, radix_bits: int = DEFAULT_RADIX_BITS) -> None:
+    ``mode`` selects the functional execution path of unique random selection:
+    ``"vectorized"`` (default) batches whole frontiers through array
+    arithmetic, ``"reference"`` runs the per-node verification loop.  Both
+    produce bit-identical samples and identical cycle counts; ``detailed``
+    additionally emulates the UPE datapath element by element.
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        detailed: bool = False,
+        radix_bits: int = DEFAULT_RADIX_BITS,
+        mode: str = MODE_VECTORIZED,
+    ) -> None:
         self.config = config
         self.detailed = detailed
+        self.mode = check_mode(mode)
         self.radix_bits = radix_bits
         # The functional datapath is emulated through a single UPE instance;
         # parallelism across the ``num_upes`` physical instances is reflected
@@ -230,7 +254,8 @@ class UPEKernel:
         else:
             merged = np.sort(keys, kind="stable")
         src, dst = COOGraph.deconcatenate_vids(merged, graph.num_nodes)
-        ordered = graph.with_edges(src, dst)
+        # A permutation of already-validated edges needs no range re-check.
+        ordered = graph.with_edges(src, dst, validate=False)
         return ordered, cycles
 
     # ------------------------------------------------------------- selection
@@ -246,8 +271,32 @@ class UPEKernel:
 
         Functionally equivalent to the reference sampler: for every frontier
         node, ``k`` unique neighbours are drawn without replacement using the
-        bitmap + one-hot-extraction procedure of Fig. 16.
+        bitmap + one-hot-extraction procedure of Fig. 16.  The fast path
+        executes the shared priority-draw sampler (in this kernel's ``mode``);
+        ``detailed`` emulates the datapath element by element.
         """
+        if self.detailed:
+            return self._detailed_selection(csc, batch_nodes, k, num_layers, seed)
+        sample, selection = node_wise_sample_with_stats(
+            csc, batch_nodes, k, num_layers, seed=seed, mode=self.mode
+        )
+        cycles = selection_cycle_count(selection.draws, selection.arrays, self.config)
+        stats = KernelStats(
+            selecting_cycles=cycles,
+            selection_draws=selection.draws,
+            selection_arrays=selection.arrays,
+        )
+        return sample, cycles, stats
+
+    def _detailed_selection(
+        self,
+        csc: CSCGraph,
+        batch_nodes: Sequence[int],
+        k: int,
+        num_layers: int,
+        seed: int,
+    ) -> Tuple[SampledSubgraph, int, KernelStats]:
+        """Element-by-element emulation of the Fig. 16 selection control path."""
         rng = np.random.default_rng(seed)
         batch = np.asarray(list(batch_nodes), dtype=VID_DTYPE)
         frontier = np.unique(batch)
@@ -266,10 +315,7 @@ class UPEKernel:
                     continue
                 arrays += 1
                 take = min(k, int(neighbors.size))
-                if self.detailed:
-                    picked = self._detailed_draw(neighbors, take, rng)
-                else:
-                    picked = rng.choice(neighbors, size=take, replace=False)
+                picked = self._detailed_draw(neighbors, take, rng)
                 draws += take
                 for src in np.sort(np.asarray(picked, dtype=VID_DTYPE)).tolist():
                     layer_src.append(int(src))
@@ -296,6 +342,7 @@ class UPEKernel:
             batch_nodes=batch,
             layers=list(reversed(layers)),
             sampled_nodes=np.array(sorted(seen), dtype=VID_DTYPE),
+            num_nodes=csc.num_nodes,
         )
         stats = KernelStats(
             selecting_cycles=cycles, selection_draws=draws, selection_arrays=arrays
@@ -336,11 +383,20 @@ class UPEKernel:
 # SCR kernel
 # ---------------------------------------------------------------------------
 class SCRKernel:
-    """SCR controllers (reshaper + reindexer) executing reshaping and reindexing."""
+    """SCR controllers (reshaper + reindexer) executing reshaping and reindexing.
 
-    def __init__(self, config: HardwareConfig, detailed: bool = False) -> None:
+    ``mode`` selects the functional reindexing path: ``"vectorized"``
+    (default) factorizes the endpoint stream with one ``np.unique``,
+    ``"reference"`` walks it with the verification hash-map loop.  Both
+    produce bit-identical mappings and identical cycle counts.
+    """
+
+    def __init__(
+        self, config: HardwareConfig, detailed: bool = False, mode: str = MODE_VECTORIZED
+    ) -> None:
         self.config = config
         self.detailed = detailed
+        self.mode = check_mode(mode)
         self._scrs = [SCR(width=config.scr_width) for _ in range(config.num_scrs)]
         self.reshaper = Reshaper(self._scrs)
         # The reindexer drives all SCR slots in parallel against its SRAM bank,
@@ -372,30 +428,22 @@ class SCRKernel:
         if self.detailed:
             self.reindexer.reset()
             new_src, new_dst = self.reindexer.reindex_edges(src, dst)
-            mapping = self.reindexer.mapping
-            original = self.reindexer.original_vids()
-            cycles = self.reindexer.stats.cycles
-        else:
-            mapping: Dict[int, int] = {}
-            new_src = np.empty_like(src)
-            new_dst = np.empty_like(dst)
-            mapping_sizes: List[int] = []
-            for i in range(src.shape[0]):
-                for arr, out in ((dst, new_dst), (src, new_src)):
-                    vid = int(arr[i])
-                    mapping_sizes.append(max(len(mapping), 1))
-                    if vid not in mapping:
-                        mapping[vid] = len(mapping)
-                    out[i] = mapping[vid]
-            original = np.empty(len(mapping), dtype=VID_DTYPE)
-            for vid, new in mapping.items():
-                original[new] = vid
-            cycles = reindexing_cycle_count(mapping_sizes, self.config)
-        edges = COOGraph(
-            src=new_src.astype(VID_DTYPE),
-            dst=new_dst.astype(VID_DTYPE),
-            num_nodes=max(len(mapping), 1),
-            name="reindexed",
-        )
-        result = ReindexResult(mapping=mapping, edges=edges, original_vids=original)
+            result = ReindexResult(
+                mapping=self.reindexer.mapping,
+                edges=COOGraph(
+                    src=new_src,
+                    dst=new_dst,
+                    num_nodes=max(self.reindexer.counter, 1),
+                    name="reindexed",
+                    validate_vids=False,
+                ),
+                original_vids=self.reindexer.original_vids(),
+            )
+            return result, self.reindexer.stats.cycles
+        # Both functional paths live in reindex_edges; the assigned IDs are
+        # first-occurrence codes in endpoint scan order, so the closed-form
+        # occupancy yields the identical cycle charge for either mode.
+        result = reindex_edges(src, dst, mode=self.mode, num_vids=combined.num_nodes)
+        codes = interleave_endpoints(result.edges.src, result.edges.dst)
+        cycles = reindexing_cycle_count(reindex_mapping_sizes(codes), self.config)
         return result, cycles

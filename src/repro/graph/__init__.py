@@ -23,10 +23,13 @@ from repro.graph.datasets import (
     dataset_table,
 )
 from repro.graph.sampling import (
+    MODE_REFERENCE,
+    MODE_VECTORIZED,
     sample_neighbors,
     node_wise_sample,
     layer_wise_sample,
     SampledSubgraph,
+    SelectionStats,
 )
 from repro.graph.reindex import reindex_subgraph, ReindexResult
 from repro.graph.dynamic import DynamicGraph, GraphUpdateStream, UpdateBatch
@@ -46,10 +49,13 @@ __all__ = [
     "DATASET_ORDER",
     "load_dataset",
     "dataset_table",
+    "MODE_REFERENCE",
+    "MODE_VECTORIZED",
     "sample_neighbors",
     "node_wise_sample",
     "layer_wise_sample",
     "SampledSubgraph",
+    "SelectionStats",
     "reindex_subgraph",
     "ReindexResult",
     "DynamicGraph",

@@ -22,9 +22,14 @@ def edge_order(graph: COOGraph) -> COOGraph:
 
     This produces the layout that data reshaping turns into CSC: edges sharing
     a destination are contiguous, and within a destination sources ascend.
+    Sorting the concatenated ``(dst, src)`` keys with a single-key sort is
+    equivalent to ``np.lexsort((src, dst))`` (destination occupies the high
+    bits) and several times faster.
     """
-    order = np.lexsort((graph.src, graph.dst))
-    return graph.with_edges(graph.src[order], graph.dst[order])
+    keys = np.sort(graph.concatenate_vids())
+    src, dst = COOGraph.deconcatenate_vids(keys, graph.num_nodes)
+    # A permutation of already-validated edges needs no range re-check.
+    return graph.with_edges(src, dst, validate=False)
 
 
 def build_pointer_array(sorted_dst: np.ndarray, num_nodes: int) -> np.ndarray:

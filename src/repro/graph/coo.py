@@ -8,7 +8,7 @@ turns it into CSC.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Iterable, Iterator, Optional, Tuple
 
 import numpy as np
@@ -25,6 +25,8 @@ class COOGraph:
         dst: 1-D array of destination VIDs, one entry per edge.
         num_nodes: number of vertices; VIDs are integers in ``[0, num_nodes)``.
         name: optional human-readable name (dataset key).
+        validate_vids: skip the O(E) VID range check when False — only for
+            internal constructions whose edges are valid by derivation.
     """
 
     src: np.ndarray
@@ -32,8 +34,10 @@ class COOGraph:
     num_nodes: int
     name: str = ""
     _degree_cache: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _out_degree_cache: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    validate_vids: InitVar[bool] = True
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, validate_vids: bool = True) -> None:
         self.src = np.asarray(self.src, dtype=VID_DTYPE).ravel()
         self.dst = np.asarray(self.dst, dtype=VID_DTYPE).ravel()
         if self.src.shape != self.dst.shape:
@@ -42,7 +46,7 @@ class COOGraph:
             )
         if self.num_nodes < 0:
             raise ValueError("num_nodes must be non-negative")
-        if self.num_edges:
+        if self.num_edges and validate_vids:
             max_vid = int(max(self.src.max(), self.dst.max()))
             if max_vid >= self.num_nodes:
                 raise ValueError(
@@ -84,8 +88,13 @@ class COOGraph:
         return self._degree_cache
 
     def out_degrees(self) -> np.ndarray:
-        """Return the out-degree per source VID."""
-        return np.bincount(self.src, minlength=self.num_nodes).astype(VID_DTYPE)
+        """Return the out-degree per source VID (cached like :meth:`in_degrees`)."""
+        if self._out_degree_cache is None:
+            self._out_degree_cache = np.bincount(self.src, minlength=self.num_nodes).astype(
+                VID_DTYPE
+            )
+        return self._out_degree_cache
+
 
     def max_degree(self) -> int:
         """Maximum in-degree over all vertices."""
@@ -127,14 +136,22 @@ class COOGraph:
         keys = np.asarray(keys, dtype=np.int64)
         src = keys & mask
         dst = keys >> shift
-        return src.astype(VID_DTYPE), dst.astype(VID_DTYPE)
+        return src.astype(VID_DTYPE, copy=False), dst.astype(VID_DTYPE, copy=False)
 
-    def with_edges(self, src: np.ndarray, dst: np.ndarray) -> "COOGraph":
-        """Return a new graph with the same node count but different edges."""
-        return COOGraph(src=src, dst=dst, num_nodes=self.num_nodes, name=self.name)
+    def with_edges(self, src: np.ndarray, dst: np.ndarray, validate: bool = True) -> "COOGraph":
+        """Return a new graph with the same node count but different edges.
+
+        The result is a fresh instance, so it never inherits this graph's
+        degree caches; they are rebuilt on first use.  ``validate=False``
+        skips the VID range check for edges known valid by derivation (e.g.
+        permutations of this graph's own edges).
+        """
+        return COOGraph(
+            src=src, dst=dst, num_nodes=self.num_nodes, name=self.name, validate_vids=validate
+        )
 
     def add_edges(self, src: np.ndarray, dst: np.ndarray, num_nodes: Optional[int] = None) -> "COOGraph":
-        """Return a new graph with the given edges appended."""
+        """Return a new graph with the given edges appended (caches not inherited)."""
         new_nodes = self.num_nodes if num_nodes is None else num_nodes
         new_src = np.concatenate([self.src, np.asarray(src, dtype=VID_DTYPE)])
         new_dst = np.concatenate([self.dst, np.asarray(dst, dtype=VID_DTYPE)])

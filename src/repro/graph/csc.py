@@ -84,6 +84,34 @@ class CSCGraph:
         """Vector of in-degrees for every destination vertex."""
         return np.diff(self.indptr)
 
+    def in_degrees_of(self, nodes: np.ndarray) -> np.ndarray:
+        """In-degrees of a batch of destination vertices (one indptr slice)."""
+        nodes = np.asarray(nodes, dtype=VID_DTYPE)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
+            raise IndexError("destination VID out of range")
+        return self.indptr[nodes + 1] - self.indptr[nodes]
+
+    def in_neighbors_batch(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather the in-neighbour lists of many destinations at once.
+
+        Returns ``(flat, offsets)`` where ``flat`` concatenates the neighbour
+        arrays of ``nodes`` in order and ``offsets`` (length ``len(nodes)+1``)
+        delimits them: node ``i``'s neighbours are
+        ``flat[offsets[i]:offsets[i+1]]``.  The gather is pure ``indptr``
+        arithmetic (no per-node Python loop): each segment's positions are the
+        segment start repeated plus a running within-segment offset.
+        """
+        nodes = np.asarray(nodes, dtype=VID_DTYPE)
+        degs = self.in_degrees_of(nodes)
+        offsets = np.zeros(nodes.shape[0] + 1, dtype=VID_DTYPE)
+        np.cumsum(degs, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return np.empty(0, dtype=VID_DTYPE), offsets
+        starts = self.indptr[nodes]
+        flat_idx = np.repeat(starts - offsets[:-1], degs) + np.arange(total, dtype=VID_DTYPE)
+        return self.indices[flat_idx], offsets
+
     def iter_edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate over ``(src, dst)`` pairs in destination-major order."""
         for dst in range(self.num_nodes):

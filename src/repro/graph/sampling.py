@@ -1,20 +1,68 @@
-"""Reference neighbour sampling (unique random selection).
+"""Neighbour sampling (unique random selection): reference and fast paths.
 
 GNN preprocessing samples a fixed number ``k`` of unique neighbours per node
 (node-wise) or per layer (layer-wise) before inference, bounding the node
-explosion of multi-hop traversal (Section II-B).  These are the software
-reference implementations every accelerated sampler is verified against.
+explosion of multi-hop traversal (Section II-B).
+
+Every sampler exists in two functionally identical execution modes:
+
+* ``"reference"`` — the per-node Python loop the accelerated implementations
+  are verified against;
+* ``"vectorized"`` — a NumPy fast path that gathers whole frontiers through
+  ``CSCGraph.in_neighbors_batch`` and replaces the per-node loops with
+  segment arithmetic.
+
+Both modes follow the same *priority-draw* rule and consume the RNG stream in
+the same order, so their outputs are bit-identical (see DESIGN.md,
+"Reference vs. vectorized fast path"):
+
+* a node's candidate set is its unique in-neighbour array, ascending;
+* if the candidate set has at most ``k`` entries it is taken whole and the
+  RNG is untouched;
+* otherwise one uniform priority per candidate is drawn (in ascending
+  candidate order) and the ``k`` candidates with the smallest priorities are
+  kept, emitted in ascending VID order.
+
+The equivalence relies on NumPy's ``Generator.random`` producing the same
+stream whether drawn in one flat call or in consecutive per-node calls of the
+same total length.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph.coo import COOGraph, VID_DTYPE
 from repro.graph.csc import CSCGraph
+
+#: Execution-mode names shared by the samplers, kernels and pipeline.
+MODE_REFERENCE = "reference"
+MODE_VECTORIZED = "vectorized"
+SAMPLING_MODES = (MODE_REFERENCE, MODE_VECTORIZED)
+
+
+def check_mode(mode: str) -> str:
+    """Validate an execution-mode name and return it."""
+    if mode not in SAMPLING_MODES:
+        raise ValueError(f"unknown execution mode {mode!r}; expected one of {SAMPLING_MODES}")
+    return mode
+
+
+@dataclass
+class SelectionStats:
+    """Work counters of one multi-hop selection (drives cycle accounting).
+
+    Attributes:
+        arrays: neighbour arrays processed (frontier nodes with >= 1 neighbour).
+        draws: unique neighbour draws performed (``min(k, unique degree)`` per
+            processed array).
+    """
+
+    arrays: int = 0
+    draws: int = 0
 
 
 @dataclass
@@ -28,11 +76,14 @@ class SampledSubgraph:
             ``num_layers - i`` (matching the paper's layer-1-first inference).
         sampled_nodes: all distinct original VIDs touched by the sample,
             including the batch nodes.
+        num_nodes: node count of the graph the sample was drawn from (kept so
+            degenerate zero-layer samples still carry the VID range).
     """
 
     batch_nodes: np.ndarray
     layers: List[COOGraph] = field(default_factory=list)
     sampled_nodes: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=VID_DTYPE))
+    num_nodes: int = 0
 
     @property
     def num_layers(self) -> int:
@@ -51,15 +102,36 @@ class SampledSubgraph:
 
     def all_edges(self) -> COOGraph:
         """Concatenate every layer's edges into one COO graph (original VIDs)."""
+        num_nodes = int(self.layers[0].num_nodes) if self.layers else int(self.num_nodes)
         if not self.layers:
             return COOGraph(
                 src=np.empty(0, dtype=VID_DTYPE),
                 dst=np.empty(0, dtype=VID_DTYPE),
-                num_nodes=int(self.layers[0].num_nodes) if self.layers else 0,
+                num_nodes=num_nodes,
             )
         src = np.concatenate([layer.src for layer in self.layers])
         dst = np.concatenate([layer.dst for layer in self.layers])
-        return COOGraph(src=src, dst=dst, num_nodes=self.layers[0].num_nodes)
+        return COOGraph(src=src, dst=dst, num_nodes=num_nodes, validate_vids=False)
+
+
+# ---------------------------------------------------------------------------
+# The shared priority-draw rule
+# ---------------------------------------------------------------------------
+def draw_k_smallest(candidates: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Select ``k`` of the ``candidates`` by priority draw; ascending output.
+
+    ``candidates`` must be unique and ascending.  When the set already fits in
+    ``k`` it is returned whole without consuming the RNG; otherwise one
+    priority per candidate is drawn and the ``k`` smallest win (the random
+    64-bit priorities are almost surely distinct, so the winning set does not
+    depend on the sort algorithm).
+    """
+    candidates = np.asarray(candidates, dtype=VID_DTYPE)
+    if candidates.shape[0] <= k:
+        return candidates.copy()
+    priorities = rng.random(candidates.shape[0])
+    winners = np.argsort(priorities)[:k]
+    return candidates[np.sort(winners)]
 
 
 def sample_neighbors(
@@ -71,13 +143,189 @@ def sample_neighbors(
     """Sample up to ``k`` unique in-neighbours of ``node`` uniformly at random.
 
     If the node has fewer than ``k`` neighbours, all of them are returned.
-    Uniqueness is guaranteed (sampling without replacement).
+    Uniqueness is guaranteed (priority draw over the unique neighbour set).
     """
-    neighbors = graph.in_neighbors(node)
-    unique = np.unique(neighbors)
-    if unique.shape[0] <= k:
-        return unique.copy()
-    return rng.choice(unique, size=k, replace=False)
+    unique = np.unique(graph.in_neighbors(node))
+    return draw_k_smallest(unique, k, rng)
+
+
+# ---------------------------------------------------------------------------
+# Per-layer cores (reference loop vs. vectorized segment arithmetic)
+# ---------------------------------------------------------------------------
+def _node_layer_reference(
+    graph: CSCGraph, frontier: np.ndarray, k: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """One node-wise hop, per-node loop.  Returns (src, dst, arrays, draws)."""
+    layer_src: List[int] = []
+    layer_dst: List[int] = []
+    arrays = 0
+    draws = 0
+    for node in frontier.tolist():
+        unique = np.unique(graph.in_neighbors(int(node)))
+        if unique.shape[0] == 0:
+            continue
+        arrays += 1
+        take = min(k, int(unique.shape[0]))
+        draws += take
+        picked = draw_k_smallest(unique, k, rng)
+        for src in picked.tolist():
+            layer_src.append(int(src))
+            layer_dst.append(int(node))
+    return (
+        np.array(layer_src, dtype=VID_DTYPE),
+        np.array(layer_dst, dtype=VID_DTYPE),
+        arrays,
+        draws,
+    )
+
+
+def _vid_shift(num_nodes: int) -> int:
+    """Bits needed to pack a VID below a segment id in one 64-bit key."""
+    return max(int(num_nodes).bit_length(), 1)
+
+
+def _unique_per_segment(
+    flat: np.ndarray, offsets: np.ndarray, num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicate each segment of a concatenated neighbour gather.
+
+    Returns ``(values, segments, unique_degrees)``: the per-segment unique
+    values in (segment-major, ascending-value) order, the segment id of each
+    value, and the unique-degree of every segment.  Values and segment ids
+    are packed into single 64-bit keys so one single-key sort (much faster
+    than a two-key lexsort) orders and deduplicates everything at once.
+    """
+    num_segments = int(offsets.shape[0] - 1)
+    degs = np.diff(offsets)
+    if flat.shape[0] == 0:
+        return (
+            np.empty(0, dtype=VID_DTYPE),
+            np.empty(0, dtype=np.int64),
+            np.zeros(num_segments, dtype=np.int64),
+        )
+    shift = _vid_shift(num_nodes)
+    seg = np.repeat(np.arange(num_segments, dtype=np.int64), degs)
+    keys = (seg << shift) | flat.astype(np.int64, copy=False)
+    # CSCs built by the pipeline store each neighbour list ascending, making
+    # the packed keys already sorted; only sort when they are not.
+    if keys.shape[0] > 1 and not bool((keys[1:] >= keys[:-1]).all()):
+        keys = np.sort(keys)
+    keep = np.ones(keys.shape[0], dtype=bool)
+    keep[1:] = keys[1:] != keys[:-1]
+    unique_keys = keys[keep]
+    values = (unique_keys & ((1 << shift) - 1)).astype(VID_DTYPE)
+    segments = unique_keys >> shift
+    unique_degrees = np.bincount(segments, minlength=num_segments)
+    return values, segments, unique_degrees
+
+
+def _node_layer_vectorized(
+    graph: CSCGraph, frontier: np.ndarray, k: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """One node-wise hop over the whole frontier with array arithmetic.
+
+    Bit-identical to :func:`_node_layer_reference`: uniques per frontier node
+    are enumerated in the same (node-major, ascending) order, priorities are
+    drawn from the same RNG stream, and stable sorting reproduces the same
+    tie-breaking.
+    """
+    flat, offsets = graph.in_neighbors_batch(frontier)
+    values, segments, unique_degrees = _unique_per_segment(flat, offsets, graph.num_nodes)
+    arrays = int((unique_degrees > 0).sum())
+    draws = int(np.minimum(unique_degrees, k).sum())
+    if values.shape[0] == 0:
+        return np.empty(0, dtype=VID_DTYPE), np.empty(0, dtype=VID_DTYPE), arrays, draws
+
+    oversized = unique_degrees > k
+    needs_draw = oversized[segments]
+    draw_positions = np.flatnonzero(needs_draw)
+    # One flat priority draw covers every oversized segment, assigned in the
+    # same (node-major, ascending-candidate) order the reference loop uses;
+    # segments that fit in k are taken whole and never touch the RNG.
+    num_draw_entries = draw_positions.shape[0]
+    priorities = rng.random(num_draw_entries)
+    draw_seg = segments[draw_positions]
+    # Order candidates by (segment, priority) without a slow two-key float
+    # lexsort: rank the priorities globally (they are almost surely distinct)
+    # and pack segment + rank into one integer key.
+    order = np.argsort(priorities)
+    ranks = np.empty(num_draw_entries, dtype=np.int64)
+    ranks[order] = np.arange(num_draw_entries, dtype=np.int64)
+    rank_shift = max(int(num_draw_entries).bit_length(), 1)
+    keys = np.sort((draw_seg << rank_shift) | ranks)
+    grouped = keys >> rank_shift
+    is_start = np.ones(grouped.shape[0], dtype=bool)
+    is_start[1:] = grouped[1:] != grouped[:-1]
+    start_of = np.maximum.accumulate(np.where(is_start, np.arange(grouped.shape[0]), 0))
+    in_first_k = (np.arange(grouped.shape[0]) - start_of) < k
+    winners = order[(keys & ((1 << rank_shift) - 1))[in_first_k]]
+
+    # values/segments are already (node-major, ascending-source); flipping the
+    # winners back on in a selection mask emits in that order with no sort.
+    selected = ~needs_draw
+    selected[draw_positions[winners]] = True
+    src = values[selected]
+    dst = frontier[segments[selected]].astype(VID_DTYPE, copy=False)
+    return src, dst, arrays, draws
+
+
+# ---------------------------------------------------------------------------
+# Multi-hop samplers
+# ---------------------------------------------------------------------------
+def _sorted_unique(values: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Sorted distinct VIDs, by boolean scatter or ``np.unique``.
+
+    The O(n + N) scatter wins when the VID range is comparable to the input
+    size (the dense frontiers of the pipeline); for small inputs against a
+    huge graph it would allocate and scan O(num_nodes) per call, so sparse
+    inputs fall back to ``np.unique``.  Both produce the identical array.
+    """
+    if values.size == 0:
+        return np.empty(0, dtype=VID_DTYPE)
+    if num_nodes <= 4 * values.size + 1024:
+        mask = np.zeros(num_nodes, dtype=bool)
+        mask[values] = True
+        return np.flatnonzero(mask).astype(VID_DTYPE, copy=False)
+    return np.unique(values).astype(VID_DTYPE, copy=False)
+
+
+def node_wise_sample_with_stats(
+    graph: CSCGraph,
+    batch_nodes: Sequence[int],
+    k: int,
+    num_layers: int,
+    seed: int = 0,
+    mode: str = MODE_VECTORIZED,
+) -> Tuple[SampledSubgraph, SelectionStats]:
+    """Node-wise sampling plus the work counters the UPE kernel charges for."""
+    check_mode(mode)
+    rng = np.random.default_rng(seed)
+    batch = np.asarray(list(batch_nodes), dtype=VID_DTYPE)
+    frontier = _sorted_unique(batch, graph.num_nodes)
+    layers: List[COOGraph] = []
+    touched: List[np.ndarray] = [frontier]
+    stats = SelectionStats()
+    layer_fn = _node_layer_reference if mode == MODE_REFERENCE else _node_layer_vectorized
+
+    for _ in range(num_layers):
+        src, dst, arrays, draws = layer_fn(graph, frontier, k, rng)
+        stats.arrays += arrays
+        stats.draws += draws
+        layers.append(COOGraph(src=src, dst=dst, num_nodes=graph.num_nodes, validate_vids=False))
+        touched.append(src)
+        frontier = _sorted_unique(src, graph.num_nodes)
+        if frontier.size == 0:
+            break
+
+    sampled = _sorted_unique(np.concatenate(touched), graph.num_nodes)
+    # Present layers outermost-hop first, matching the inference order.
+    sample = SampledSubgraph(
+        batch_nodes=batch,
+        layers=list(reversed(layers)),
+        sampled_nodes=sampled,
+        num_nodes=graph.num_nodes,
+    )
+    return sample, stats
 
 
 def node_wise_sample(
@@ -86,46 +334,17 @@ def node_wise_sample(
     k: int,
     num_layers: int,
     seed: int = 0,
+    mode: str = MODE_VECTORIZED,
 ) -> SampledSubgraph:
     """Node-wise neighbourhood sampling (GraphSAGE-style, Fig. 4a).
 
     Starting from the batch nodes, each hop samples ``k`` unique neighbours of
     every frontier node; the sampled neighbours become the next frontier.
     """
-    rng = np.random.default_rng(seed)
-    batch = np.asarray(list(batch_nodes), dtype=VID_DTYPE)
-    frontier = np.unique(batch)
-    layers: List[COOGraph] = []
-    seen = set(frontier.tolist())
-
-    for _ in range(num_layers):
-        layer_src: List[int] = []
-        layer_dst: List[int] = []
-        next_frontier: List[int] = []
-        for node in frontier.tolist():
-            picked = sample_neighbors(graph, int(node), k, rng)
-            for src in picked.tolist():
-                layer_src.append(int(src))
-                layer_dst.append(int(node))
-                next_frontier.append(int(src))
-                seen.add(int(src))
-        layers.append(
-            COOGraph(
-                src=np.array(layer_src, dtype=VID_DTYPE),
-                dst=np.array(layer_dst, dtype=VID_DTYPE),
-                num_nodes=graph.num_nodes,
-            )
-        )
-        frontier = np.unique(np.array(next_frontier, dtype=VID_DTYPE)) if next_frontier else np.empty(
-            0, dtype=VID_DTYPE
-        )
-        if frontier.size == 0:
-            break
-
-    sampled = np.array(sorted(seen), dtype=VID_DTYPE)
-    # Present layers outermost-hop first, matching the inference order.
-    layers = list(reversed(layers))
-    return SampledSubgraph(batch_nodes=batch, layers=layers, sampled_nodes=sampled)
+    sample, _ = node_wise_sample_with_stats(
+        graph, batch_nodes, k, num_layers, seed=seed, mode=mode
+    )
+    return sample
 
 
 def layer_wise_sample(
@@ -134,50 +353,63 @@ def layer_wise_sample(
     k: int,
     num_layers: int,
     seed: int = 0,
+    mode: str = MODE_VECTORIZED,
 ) -> SampledSubgraph:
     """Layer-wise sampling (FastGCN-style): ``k`` nodes per layer, aggregated.
 
     All frontier neighbour arrays of a layer are pooled into one candidate set
     and ``k`` unique nodes are drawn from the pool (Section V-A control path).
+    Edges are emitted source-major with destinations ascending within a
+    source, identically in both execution modes.
     """
+    check_mode(mode)
     rng = np.random.default_rng(seed)
     batch = np.asarray(list(batch_nodes), dtype=VID_DTYPE)
-    frontier = np.unique(batch)
+    frontier = _sorted_unique(batch, graph.num_nodes)
     layers: List[COOGraph] = []
-    seen = set(frontier.tolist())
+    touched: List[np.ndarray] = [frontier]
 
     for _ in range(num_layers):
-        candidates: List[int] = []
-        incoming: Dict[int, List[int]] = {}
-        for node in frontier.tolist():
-            neigh = np.unique(graph.in_neighbors(int(node)))
-            for src in neigh.tolist():
-                candidates.append(int(src))
-                incoming.setdefault(int(src), []).append(int(node))
-        if not candidates:
+        if mode == MODE_REFERENCE:
+            cand_src: List[int] = []
+            cand_dst: List[int] = []
+            for node in frontier.tolist():
+                unique = np.unique(graph.in_neighbors(int(node)))
+                for src in unique.tolist():
+                    cand_src.append(int(src))
+                    cand_dst.append(int(node))
+            values = np.array(cand_src, dtype=VID_DTYPE)
+            dsts = np.array(cand_dst, dtype=VID_DTYPE)
+        else:
+            flat, offsets = graph.in_neighbors_batch(frontier)
+            values, segments, _ = _unique_per_segment(flat, offsets, graph.num_nodes)
+            dsts = frontier[segments] if segments.size else np.empty(0, dtype=VID_DTYPE)
+        if values.size == 0:
             break
-        pool = np.unique(np.array(candidates, dtype=VID_DTYPE))
-        take = min(k, pool.shape[0])
-        chosen = rng.choice(pool, size=take, replace=False)
-        layer_src: List[int] = []
-        layer_dst: List[int] = []
-        for src in chosen.tolist():
-            for dst in incoming[int(src)]:
-                layer_src.append(int(src))
-                layer_dst.append(int(dst))
-            seen.add(int(src))
+        pool = _sorted_unique(values, graph.num_nodes)
+        chosen = draw_k_smallest(pool, k, rng)
+        keep = np.isin(values, chosen)
+        src = values[keep]
+        dst = dsts[keep]
+        # Emit source-major with destinations ascending within a source.
+        shift = _vid_shift(graph.num_nodes)
+        keys = np.sort((src.astype(np.int64, copy=False) << shift) | dst)
         layers.append(
             COOGraph(
-                src=np.array(layer_src, dtype=VID_DTYPE),
-                dst=np.array(layer_dst, dtype=VID_DTYPE),
+                src=(keys >> shift).astype(VID_DTYPE, copy=False),
+                dst=(keys & ((1 << shift) - 1)).astype(VID_DTYPE, copy=False),
                 num_nodes=graph.num_nodes,
+                validate_vids=False,
             )
         )
-        frontier = np.unique(chosen.astype(VID_DTYPE))
+        touched.append(chosen)
+        frontier = chosen
 
-    sampled = np.array(sorted(seen), dtype=VID_DTYPE)
+    sampled = _sorted_unique(np.concatenate(touched), graph.num_nodes)
     layers = list(reversed(layers))
-    return SampledSubgraph(batch_nodes=batch, layers=layers, sampled_nodes=sampled)
+    return SampledSubgraph(
+        batch_nodes=batch, layers=layers, sampled_nodes=sampled, num_nodes=graph.num_nodes
+    )
 
 
 def expected_sampled_nodes(batch_size: int, k: int, num_layers: int) -> int:

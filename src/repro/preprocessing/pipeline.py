@@ -16,7 +16,7 @@ from repro.graph.coo import COOGraph, VID_DTYPE
 from repro.graph.csc import CSCGraph
 from repro.graph.convert import coo_to_csc
 from repro.graph.reindex import ReindexResult
-from repro.graph.sampling import SampledSubgraph
+from repro.graph.sampling import MODE_VECTORIZED, SampledSubgraph, check_mode
 from repro.preprocessing.tasks import (
     DataReshapingTask,
     EdgeOrderingTask,
@@ -36,6 +36,12 @@ class PreprocessingConfig:
         batch_size: number of inference (batch) nodes (paper default 3000).
         sampling_strategy: ``"node"`` (GraphSAGE-style) or ``"layer"``.
         seed: RNG seed used for the random selections.
+        mode: functional execution path — ``"vectorized"`` (fast path) or
+            ``"reference"`` (per-element verification loops); both produce
+            bit-identical results.  ``None`` (the default) inherits the
+            executing component's mode (pipeline default: vectorized), so
+            only an explicitly chosen mode ever overrides a device's or
+            service's own setting.
     """
 
     k: int = 10
@@ -43,6 +49,7 @@ class PreprocessingConfig:
     batch_size: int = 3000
     sampling_strategy: str = "node"
     seed: int = 0
+    mode: Optional[str] = None
 
 
 @dataclass
@@ -81,10 +88,13 @@ class PreprocessingPipeline:
 
     def __init__(self, config: Optional[PreprocessingConfig] = None) -> None:
         self.config = config or PreprocessingConfig()
+        self.mode = check_mode(self.config.mode or MODE_VECTORIZED)
         self._ordering = EdgeOrderingTask()
         self._reshaping = DataReshapingTask()
-        self._selecting = UniqueRandomSelectionTask(strategy=self.config.sampling_strategy)
-        self._reindexing = SubgraphReindexingTask()
+        self._selecting = UniqueRandomSelectionTask(
+            strategy=self.config.sampling_strategy, mode=self.mode
+        )
+        self._reindexing = SubgraphReindexingTask(mode=self.mode)
 
     def choose_batch_nodes(self, graph: COOGraph) -> np.ndarray:
         """Pick the batch (seed) nodes for sampling, capped at the node count."""
@@ -143,6 +153,7 @@ def preprocess(
     sampling_strategy: str = "node",
     seed: int = 0,
     batch_nodes: Optional[Sequence[int]] = None,
+    mode: Optional[str] = None,
 ) -> PreprocessingResult:
     """One-call convenience wrapper around :class:`PreprocessingPipeline`."""
     config = PreprocessingConfig(
@@ -151,5 +162,6 @@ def preprocess(
         batch_size=batch_size,
         sampling_strategy=sampling_strategy,
         seed=seed,
+        mode=mode,
     )
     return PreprocessingPipeline(config).run(graph, batch_nodes=batch_nodes)

@@ -18,7 +18,13 @@ from repro.graph.coo import COOGraph, VID_DTYPE
 from repro.graph.csc import CSCGraph
 from repro.graph.convert import build_pointer_array, edge_order
 from repro.graph.reindex import ReindexResult, reindex_edges
-from repro.graph.sampling import SampledSubgraph, layer_wise_sample, node_wise_sample
+from repro.graph.sampling import (
+    MODE_VECTORIZED,
+    SampledSubgraph,
+    check_mode,
+    layer_wise_sample,
+    node_wise_sample,
+)
 
 
 class TaskKind(Enum):
@@ -91,14 +97,20 @@ class DataReshapingTask(Task):
 
 
 class UniqueRandomSelectionTask(Task):
-    """Multi-hop unique random neighbour selection (node- or layer-wise)."""
+    """Multi-hop unique random neighbour selection (node- or layer-wise).
+
+    ``mode`` selects the execution path (``"vectorized"`` fast path by
+    default, ``"reference"`` per-node verification loop); both produce
+    bit-identical samples.
+    """
 
     kind = TaskKind.SELECTING
 
-    def __init__(self, strategy: str = "node") -> None:
+    def __init__(self, strategy: str = "node", mode: str = MODE_VECTORIZED) -> None:
         if strategy not in ("node", "layer"):
             raise ValueError(f"unknown sampling strategy {strategy!r}")
         self.strategy = strategy
+        self.mode = check_mode(mode)
 
     def run(
         self,
@@ -109,9 +121,9 @@ class UniqueRandomSelectionTask(Task):
         seed: int = 0,
     ) -> TaskResult:
         if self.strategy == "node":
-            sample = node_wise_sample(csc, batch_nodes, k, num_layers, seed=seed)
+            sample = node_wise_sample(csc, batch_nodes, k, num_layers, seed=seed, mode=self.mode)
         else:
-            sample = layer_wise_sample(csc, batch_nodes, k, num_layers, seed=seed)
+            sample = layer_wise_sample(csc, batch_nodes, k, num_layers, seed=seed, mode=self.mode)
         return TaskResult(
             kind=self.kind,
             payload=sample,
@@ -126,9 +138,16 @@ class UniqueRandomSelectionTask(Task):
 
 
 class SubgraphReindexingTask(Task):
-    """Renumber sampled-subgraph VIDs to a dense range."""
+    """Renumber sampled-subgraph VIDs to a dense range.
+
+    ``mode`` selects the execution path (vectorized factorization by default,
+    reference hash-map walk); both produce bit-identical mappings.
+    """
 
     kind = TaskKind.REINDEXING
+
+    def __init__(self, mode: str = MODE_VECTORIZED) -> None:
+        self.mode = check_mode(mode)
 
     def run(
         self,
@@ -136,7 +155,13 @@ class SubgraphReindexingTask(Task):
         mapping: Optional[Dict[int, int]] = None,
     ) -> TaskResult:
         combined = sample.all_edges()
-        result: ReindexResult = reindex_edges(combined.src, combined.dst, mapping=mapping)
+        result: ReindexResult = reindex_edges(
+            combined.src,
+            combined.dst,
+            mapping=mapping,
+            mode=self.mode,
+            num_vids=combined.num_nodes,
+        )
         return TaskResult(
             kind=self.kind,
             payload=result,
@@ -153,4 +178,5 @@ def empty_sample(num_nodes: int) -> SampledSubgraph:
         batch_nodes=np.empty(0, dtype=VID_DTYPE),
         layers=[],
         sampled_nodes=np.empty(0, dtype=VID_DTYPE),
+        num_nodes=num_nodes,
     )

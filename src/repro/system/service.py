@@ -21,6 +21,13 @@ from repro.baselines.gpu import GPUPreprocessingSystem
 from repro.baselines.gsamp import GSampSystem
 from repro.core.bitstream import generate_bitstream_library
 from repro.gnn.inference import InferenceLatencyModel
+from repro.graph.coo import COOGraph
+from repro.graph.sampling import MODE_VECTORIZED, check_mode
+from repro.preprocessing.pipeline import (
+    PreprocessingConfig,
+    PreprocessingPipeline,
+    PreprocessingResult,
+)
 from repro.system.power import EnergyReport, PowerModel
 from repro.system.variants import AutoPreSystem, DynPreSystem, StatPreSystem, tuned_config_for
 from repro.system.workload import WorkloadProfile
@@ -67,9 +74,11 @@ class GNNService:
         preprocessing: PreprocessingSystem,
         inference: Optional[InferenceLatencyModel] = None,
         power_platform: Optional[str] = None,
+        mode: str = MODE_VECTORIZED,
     ) -> None:
         self.preprocessing = preprocessing
         self.inference = inference or InferenceLatencyModel()
+        self.mode = check_mode(mode)
         if power_platform is None:
             power_platform = self._default_power_platform(preprocessing)
         self.power = PowerModel(preprocessing_platform=power_platform)
@@ -111,6 +120,28 @@ class GNNService:
     def serve_many(self, workloads: List[WorkloadProfile]) -> List[ServiceReport]:
         """Model a sequence of passes (stateful systems keep their state)."""
         return [self.serve(w) for w in workloads]
+
+    # ------------------------------------------------------- functional path
+    def preprocess_functional(
+        self,
+        graph: COOGraph,
+        config: Optional[PreprocessingConfig] = None,
+        batch_nodes=None,
+    ) -> PreprocessingResult:
+        """Run the functional preprocessing pipeline on an in-memory graph.
+
+        Validates that a served workload's preprocessing actually produces a
+        correct subgraph.  Runs in this service's execution ``mode`` (the
+        vectorized fast path by default); a config with an explicitly chosen
+        ``mode`` wins, one with ``mode=None`` inherits the service's.
+        """
+        from dataclasses import replace
+
+        if config is None:
+            config = PreprocessingConfig(mode=self.mode)
+        elif config.mode is None:
+            config = replace(config, mode=self.mode)
+        return PreprocessingPipeline(config).run(graph, batch_nodes=batch_nodes)
 
 
 def build_reference_systems(

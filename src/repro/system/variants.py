@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.metrics import TaskLatencies
 from repro.system.base import PreprocessingSystem, SystemLatency
+from repro.core.accelerator import AcceleratedPreprocessing, AutoGNNDevice
 from repro.core.bitstream import BitstreamLibrary, generate_bitstream_library
 from repro.core.config import (
     DEFAULT_SCR_AREA_FRACTION,
@@ -41,6 +42,9 @@ from repro.core.kernels import (
     selection_cycle_count,
 )
 from repro.core.reconfig import ReconfigurationController
+from repro.graph.coo import COOGraph
+from repro.graph.sampling import MODE_VECTORIZED, check_mode
+from repro.preprocessing.pipeline import PreprocessingConfig
 from repro.system.pcie import PCIeLink, TransferBreakdown
 from repro.system.workload import WorkloadProfile
 
@@ -97,14 +101,35 @@ class AutoGNNVariant(PreprocessingSystem):
         pcie: Optional[PCIeLink] = None,
         clock_hz: float = KERNEL_CLOCK_HZ,
         device_bandwidth: Optional[float] = None,
+        mode: str = MODE_VECTORIZED,
     ) -> None:
         super().__init__(pcie=pcie)
         self.board = board
         self.config = config or scaled_default_config(board)
         self.clock_hz = clock_hz
+        self.mode = check_mode(mode)
         if device_bandwidth is None:
             device_bandwidth = getattr(board, "dram_bandwidth", DEVICE_BANDWIDTH)
         self.device_bandwidth = device_bandwidth * DEVICE_BANDWIDTH_EFFICIENCY
+
+    # ------------------------------------------------------- functional path
+    def preprocess_functional(
+        self,
+        graph: COOGraph,
+        config: Optional[PreprocessingConfig] = None,
+        batch_nodes=None,
+    ) -> AcceleratedPreprocessing:
+        """Run the functional preprocessing workflow on an in-memory graph.
+
+        Instantiates an :class:`AutoGNNDevice` with this variant's current
+        hardware configuration and execution ``mode`` (the vectorized fast
+        path by default) and executes the full Fig. 14 workflow, returning
+        both the preprocessed subgraph and the cycle-level timing.  An
+        explicitly supplied ``config`` wins on execution mode (the device
+        delegates to the requested mode).
+        """
+        device = AutoGNNDevice(config=self.config, clock_hz=self.clock_hz, mode=self.mode)
+        return device.preprocess(graph, config, batch_nodes=batch_nodes)
 
     # ------------------------------------------------------------- components
     def _ordering_config(self) -> HardwareConfig:
