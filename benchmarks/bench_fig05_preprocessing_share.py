@@ -1,6 +1,5 @@
 """Fig. 5: share of GNN preprocessing in end-to-end service latency."""
 
-from repro.graph.datasets import DATASET_ORDER
 from repro.system.service import GNNService
 from repro.baselines.gpu import GPUPreprocessingSystem
 

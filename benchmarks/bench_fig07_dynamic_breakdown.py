@@ -3,7 +3,6 @@
 from repro.analysis.metrics import breakdown_percentages
 from repro.baselines.calibration import GPU_CALIBRATION
 from repro.baselines.cpu import software_task_latencies
-from repro.baselines.gpu import GPUPreprocessingSystem
 from repro.gnn.inference import InferenceLatencyModel
 from repro.graph.dynamic import DAILY_GROWTH_RATE
 from repro.system.workload import WorkloadProfile

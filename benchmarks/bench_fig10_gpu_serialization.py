@@ -1,7 +1,6 @@
 """Fig. 10: serialized-computation analysis of GPU set-partition/set-count kernels."""
 
 from repro.baselines.gpu import GPUSerializationAnalysis
-from repro.graph.datasets import DATASET_ORDER
 
 from common import all_workloads, print_figure, run_once
 

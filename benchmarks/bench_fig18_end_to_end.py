@@ -1,7 +1,6 @@
 """Fig. 18: end-to-end GNN inference latency of all seven compared systems."""
 
 from repro.analysis.metrics import geometric_mean
-from repro.graph.datasets import DATASET_ORDER
 from repro.system.service import build_services
 
 from common import all_workloads, print_figure, run_once

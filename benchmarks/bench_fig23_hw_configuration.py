@@ -7,7 +7,7 @@ from repro.core.cost_model import CostModel
 from repro.core.kernels import reshaping_cycle_estimate
 from repro.system.workload import WorkloadProfile
 
-from common import print_figure, print_series, run_once
+from common import print_figure, run_once
 
 SCR_WIDTHS = [1, 4, 16, 64, 256, 1024]
 SCR_SLOTS = [1, 2, 4, 8]

@@ -3,7 +3,7 @@
 from repro.baselines.gpu import GPUPreprocessingSystem
 from repro.core.config import FPGAResources
 from repro.gnn.inference import InferenceLatencyModel
-from repro.system.boards import BOARD_CATALOG, GPU_REFERENCE_PRICE
+from repro.system.boards import BOARD_CATALOG
 from repro.system.service import GNNService
 from repro.system.variants import DynPreSystem
 from repro.core.bitstream import generate_bitstream_library

@@ -1,6 +1,5 @@
 """Fig. 30: end-to-end latency on a growing e-commerce graph (TB)."""
 
-from repro.graph.dynamic import DAILY_GROWTH_RATE
 from repro.system.service import build_services
 from repro.system.workload import WorkloadProfile
 

@@ -1,0 +1,104 @@
+"""Benchmark-regression gate for the preprocessing fast path.
+
+Reads the committed ``BENCH_perf_preprocessing.json`` (the baseline the last
+PR recorded), runs a fresh ``--quick`` pass of
+``benchmarks/bench_perf_preprocessing.py``, and fails when the fresh
+vectorized/reference speedup at any shared scale drops below
+``tolerance * committed_speedup`` or below an absolute floor.  The relative
+tolerance absorbs CI-runner noise; the absolute floor catches a fast path
+that was quietly disabled altogether.
+
+The fresh run overwrites ``BENCH_perf_preprocessing.json`` on disk (CI
+uploads it as an artifact); the committed baseline is read into memory
+first, so the comparison is committed-vs-fresh.  Locally, restore the
+committed file with ``git checkout -- BENCH_perf_preprocessing.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+for path in (str(_SRC), str(REPO_ROOT / "benchmarks")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import bench_perf_preprocessing
+
+#: Fresh speedup must reach this fraction of the committed speedup.
+DEFAULT_TOLERANCE = 0.5
+
+#: ... and never fall below this absolute vectorized/reference ratio.
+DEFAULT_MIN_SPEEDUP = 5.0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=bench_perf_preprocessing.RESULT_PATH,
+        help="committed benchmark JSON to compare against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="fresh speedup must be >= tolerance * committed speedup",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="absolute lower bound on the fresh speedup",
+    )
+    args = parser.parse_args(argv)
+
+    committed = json.loads(args.baseline.read_text())
+    committed_by_scale = {
+        entry["scale"]: entry["speedup"] for entry in committed["results"]
+    }
+
+    print("running fresh --quick preprocessing benchmark...\n")
+    fresh = bench_perf_preprocessing.run(quick=True)
+
+    failures: List[str] = []
+    fresh_scales = {entry["scale"] for entry in fresh["results"]}
+    unchecked = sorted(set(committed_by_scale) - fresh_scales)
+    if unchecked:
+        print(
+            f"note: committed scales not covered by the quick run (unchecked): {unchecked}"
+        )
+    for entry in fresh["results"]:
+        scale = entry["scale"]
+        if scale not in committed_by_scale:
+            continue
+        baseline_speedup = committed_by_scale[scale]
+        floor = max(args.tolerance * baseline_speedup, args.min_speedup)
+        verdict = "ok" if entry["speedup"] >= floor else "REGRESSION"
+        print(
+            f"{scale:>5}: committed {baseline_speedup:6.2f}x | "
+            f"fresh {entry['speedup']:6.2f}x | floor {floor:6.2f}x | {verdict}"
+        )
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{scale}: fresh speedup {entry['speedup']:.2f}x below floor {floor:.2f}x "
+                f"(committed {baseline_speedup:.2f}x, tolerance {args.tolerance})"
+            )
+
+    if failures:
+        print("\nPERF REGRESSION DETECTED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nno perf regression: fast-path speedup holds within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Sequence
 
 from repro.analysis.report import format_series, format_table
 from repro.graph.datasets import DATASET_ORDER
-from repro.system.service import GNNService, build_services
+from repro.system.service import GNNService
 from repro.system.workload import WorkloadProfile
 
 #: Directory where every reproduced table/figure is also written as a text

@@ -11,10 +11,12 @@ The package is organised as follows:
 * :mod:`repro.baselines` — CPU/GPU/GSamp/FPGA-sampler and other accelerators.
 * :mod:`repro.system` — host integration: PCIe transfers, AGNN-lib software,
   power/energy, FPGA board catalogue and the AutoPre/StatPre/DynPre variants.
+* :mod:`repro.serving` — request traffic, batch scheduling and sharded
+  service clusters for the served-traffic experiments.
 * :mod:`repro.analysis` — metrics and report formatting for the benchmarks.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "graph",
@@ -23,5 +25,6 @@ __all__ = [
     "gnn",
     "baselines",
     "system",
+    "serving",
     "analysis",
 ]

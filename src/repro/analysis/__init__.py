@@ -3,21 +3,26 @@
 from repro.analysis.metrics import (
     TaskLatencies,
     EndToEndLatency,
+    LatencyStats,
+    percentile,
     speedup,
     geometric_mean,
     normalize,
     breakdown_percentages,
 )
-from repro.analysis.report import format_table, format_series, Table
+from repro.analysis.report import format_table, format_series, format_distribution, Table
 
 __all__ = [
     "TaskLatencies",
     "EndToEndLatency",
+    "LatencyStats",
+    "percentile",
     "speedup",
     "geometric_mean",
     "normalize",
     "breakdown_percentages",
     "format_table",
     "format_series",
+    "format_distribution",
     "Table",
 ]

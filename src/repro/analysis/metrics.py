@@ -101,6 +101,75 @@ class EndToEndLatency:
         return out
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated ``q``-th percentile of ``values`` (0 when empty).
+
+    Matches ``numpy.percentile``'s default (linear) method; implemented on
+    plain sequences so small report aggregations skip array round trips and
+    this module keeps its no-import policy.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(ordered[lower])
+    weight = rank - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics of a latency sample (seconds).
+
+    Attributes:
+        count: number of samples.
+        mean: arithmetic mean.
+        p50: median.
+        p95: 95th percentile.
+        p99: 99th percentile.
+        max: largest sample.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    max: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        """Compute the summary of a (possibly empty) latency sample."""
+        if not samples:
+            return cls()
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            max=float(max(samples)),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the summary (for JSON reports)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
 def speedup(baseline: float, candidate: float) -> float:
     """Baseline-over-candidate latency ratio (``>1`` means candidate is faster)."""
     if candidate <= 0:

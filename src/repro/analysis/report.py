@@ -7,7 +7,7 @@ report; these helpers keep that output consistent and readable in a terminal.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import List, Mapping, Sequence, Union
 
 Number = Union[int, float]
 
@@ -80,6 +80,21 @@ def format_series(
             values = series[name]
             row.append(values[i] if i < len(values) else "")
         rows.append(row)
+    return format_table(title, columns, rows)
+
+
+def format_distribution(title: str, stats_by_label: Mapping[str, object]) -> str:
+    """Format latency summaries (one :class:`LatencyStats`-like per label).
+
+    Each value must expose ``count``/``mean``/``p50``/``p95``/``p99``/``max``
+    attributes (duck-typed so the serving layer's cluster reports and any ad
+    hoc summary can share the same table shape).
+    """
+    columns = ["label", "count", "mean", "p50", "p95", "p99", "max"]
+    rows = [
+        [label, stats.count, stats.mean, stats.p50, stats.p95, stats.p99, stats.max]
+        for label, stats in stats_by_label.items()
+    ]
     return format_table(title, columns, rows)
 
 

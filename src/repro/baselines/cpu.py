@@ -74,6 +74,11 @@ class CPUPreprocessingSystem(PreprocessingSystem):
         super().__init__(pcie=pcie)
         self.calibration = calibration
 
+    def replicate(self) -> "CPUPreprocessingSystem":
+        clone = type(self)(calibration=self.calibration, pcie=self.pcie)
+        clone.name = self.name
+        return clone
+
     def evaluate(self, workload: WorkloadProfile) -> SystemLatency:
         preprocessing = software_task_latencies(workload, self.calibration)
         transfers = TransferBreakdown(

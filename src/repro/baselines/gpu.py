@@ -33,6 +33,11 @@ class GPUPreprocessingSystem(PreprocessingSystem):
         super().__init__(pcie=pcie)
         self.calibration = calibration
 
+    def replicate(self) -> "GPUPreprocessingSystem":
+        clone = type(self)(calibration=self.calibration, pcie=self.pcie)
+        clone.name = self.name
+        return clone
+
     def evaluate(self, workload: WorkloadProfile) -> SystemLatency:
         preprocessing = software_task_latencies(workload, self.calibration)
         transfers = TransferBreakdown(

@@ -38,6 +38,15 @@ class GSampSystem(PreprocessingSystem):
         self.sampling_speedup = sampling_speedup
         self.calibration = calibration
 
+    def replicate(self) -> "GSampSystem":
+        clone = type(self)(
+            sampling_speedup=self.sampling_speedup,
+            calibration=self.calibration,
+            pcie=self.pcie,
+        )
+        clone.name = self.name
+        return clone
+
     def evaluate(self, workload: WorkloadProfile) -> SystemLatency:
         gpu = software_task_latencies(workload, self.calibration)
         preprocessing = TaskLatencies(

@@ -15,7 +15,6 @@ precomputation/vector-quantisation engine (selection) — in three deployments:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional

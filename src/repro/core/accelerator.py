@@ -11,15 +11,14 @@ analysis of Fig. 18).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import DEFAULT_HARDWARE, HardwareConfig, KERNEL_CLOCK_HZ
-from repro.core.kernels import KernelStats, SCRKernel, UPEKernel
+from repro.core.kernels import SCRKernel, UPEKernel
 from repro.graph.coo import COOGraph, VID_DTYPE
-from repro.graph.csc import CSCGraph
 from repro.graph.sampling import MODE_VECTORIZED, check_mode
 from repro.preprocessing.pipeline import PreprocessingConfig, PreprocessingResult
 

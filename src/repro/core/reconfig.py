@@ -8,10 +8,10 @@ regions, reprogramming only one region roughly halves the overhead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.core.bitstream import Bitstream, BitstreamLibrary
+from repro.core.bitstream import BitstreamLibrary
 from repro.core.config import HardwareConfig, ICAP_CLOCK_HZ
 
 #: DRAM-to-ICAP staging latency for one bitstream (Section V-B).

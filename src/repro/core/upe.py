@@ -17,12 +17,11 @@ a constant number of cycles independent of the chunk width.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np
 
-from repro.graph.coo import VID_DTYPE
 
 #: Cycles charged for one pipelined set-partition pass over a chunk: one for
 #: the prefix-sum network and one for the relocation network.  The paper

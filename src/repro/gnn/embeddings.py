@@ -8,7 +8,6 @@ table whose row index equals the renumbered VID (Fig. 4b).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

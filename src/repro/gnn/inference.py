@@ -10,7 +10,7 @@ sampled subgraph's node/edge counts and the model's FLOP estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

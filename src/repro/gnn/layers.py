@@ -8,7 +8,7 @@ helpers operate on CSC subgraphs and NumPy feature matrices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

@@ -8,8 +8,7 @@ ordering (GIN < GraphSAGE < GCN < GAT) follows the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Type
+from typing import Dict, List, Type
 
 import numpy as np
 

@@ -9,7 +9,7 @@ substrate they run on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
 import numpy as np
 

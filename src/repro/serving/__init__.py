@@ -1,0 +1,50 @@
+"""Serving layer: request traffic, batching and sharded service clusters.
+
+This package lifts the reproduction from single-pass modelling to a served
+traffic regime:
+
+* :mod:`repro.serving.requests` — timestamped requests, the request queue
+  and open/closed-loop arrival generators over workload profiles.
+* :mod:`repro.serving.scheduler` — size-or-timeout coalescing of compatible
+  requests into batched preprocessing passes.
+* :mod:`repro.serving.cluster` — N-way replicated GNN services with
+  round-robin / least-loaded / locality dispatch and merged cluster reports
+  (throughput, latency percentiles, queueing decomposition, utilisation).
+"""
+
+from repro.serving.requests import (
+    ClosedLoopArrivals,
+    InferenceRequest,
+    OpenLoopArrivals,
+    RequestQueue,
+    RequestTrace,
+)
+from repro.serving.scheduler import BatchScheduler, RequestBatch
+from repro.serving.cluster import (
+    DISPATCH_POLICIES,
+    POLICY_LEAST_LOADED,
+    POLICY_LOCALITY,
+    POLICY_ROUND_ROBIN,
+    ClusterReport,
+    ServedRequest,
+    ShardedServiceCluster,
+    build_reference_clusters,
+)
+
+__all__ = [
+    "InferenceRequest",
+    "RequestTrace",
+    "RequestQueue",
+    "OpenLoopArrivals",
+    "ClosedLoopArrivals",
+    "BatchScheduler",
+    "RequestBatch",
+    "ShardedServiceCluster",
+    "ServedRequest",
+    "ClusterReport",
+    "build_reference_clusters",
+    "DISPATCH_POLICIES",
+    "POLICY_ROUND_ROBIN",
+    "POLICY_LEAST_LOADED",
+    "POLICY_LOCALITY",
+]

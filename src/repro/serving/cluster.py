@@ -1,0 +1,310 @@
+"""Sharded service cluster: fan batched requests out over service replicas.
+
+A :class:`ShardedServiceCluster` replicates one template
+:class:`~repro.system.service.GNNService` into ``num_shards`` independent
+shards (each with its own preprocessing-system state — bitstream/LUT
+configuration, reconfiguration history — via ``GNNService.replicate``),
+groups a :class:`~repro.serving.requests.RequestTrace` into batches with a
+:class:`~repro.serving.scheduler.BatchScheduler`, and replays the batches
+through an event-driven simulation under a configurable dispatch policy.
+
+The per-request sojourn time decomposes exactly as::
+
+    sojourn = batching_delay + dispatch_delay + service_seconds
+
+where *batching* is the wait for the batch to close, *dispatch* is the wait
+for the chosen shard to drain its backlog, and *service* is the batch's
+end-to-end service latency on that shard.  The merged
+:class:`ClusterReport` aggregates throughput, latency percentiles, the
+queueing-delay decomposition and per-shard utilisation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import LatencyStats
+from repro.serving.requests import InferenceRequest, RequestTrace
+from repro.serving.scheduler import BatchScheduler, RequestBatch
+from repro.system.service import GNNService, ServiceReport, build_services
+from repro.system.workload import WorkloadProfile
+
+#: Dispatch policies: cycle shards, pick the earliest-free shard, or pin each
+#: workload key to a home shard (spilling to the earliest-free shard when the
+#: home shard's backlog exceeds the spill threshold).
+POLICY_ROUND_ROBIN = "round-robin"
+POLICY_LEAST_LOADED = "least-loaded"
+POLICY_LOCALITY = "locality"
+DISPATCH_POLICIES = (POLICY_ROUND_ROBIN, POLICY_LEAST_LOADED, POLICY_LOCALITY)
+
+
+@dataclass
+class ServedRequest:
+    """One request's journey through the cluster.
+
+    Attributes:
+        request: the original timestamped request.
+        shard_id: the shard that served the request's batch.
+        batch_size: number of requests sharing the batch.
+        batching_delay: wait for the batch to close (seconds).
+        dispatch_delay: wait for the shard to become free (seconds).
+        service_seconds: end-to-end service latency of the batch.
+        report: the batch's full :class:`ServiceReport` on the shard.
+    """
+
+    request: InferenceRequest
+    shard_id: int
+    batch_size: int
+    batching_delay: float
+    dispatch_delay: float
+    service_seconds: float
+    report: ServiceReport
+
+    @property
+    def sojourn_seconds(self) -> float:
+        """Arrival-to-completion latency of the request."""
+        return self.batching_delay + self.dispatch_delay + self.service_seconds
+
+    @property
+    def finish_seconds(self) -> float:
+        """Simulated completion time of the request."""
+        return self.request.arrival_seconds + self.sojourn_seconds
+
+
+@dataclass
+class ClusterReport:
+    """Merged outcome of serving one trace on a sharded cluster.
+
+    Attributes:
+        system: preprocessing-system label of the shards.
+        policy: dispatch policy the run used.
+        num_shards: shard count.
+        served: per-request serving records, in batch-dispatch order.
+        num_batches: batches the scheduler formed.
+        makespan_seconds: first arrival to last completion.
+        shard_busy_seconds: per-shard total service time.
+        shard_requests: per-shard served request counts.
+    """
+
+    system: str
+    policy: str
+    num_shards: int
+    served: List[ServedRequest]
+    num_batches: int
+    makespan_seconds: float
+    shard_busy_seconds: List[float]
+    shard_requests: List[int]
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def num_requests(self) -> int:
+        """Requests served."""
+        return len(self.served)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of simulated makespan."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.num_requests / self.makespan_seconds
+
+    @property
+    def latency(self) -> LatencyStats:
+        """Distribution of per-request sojourn times."""
+        return LatencyStats.from_samples([s.sojourn_seconds for s in self.served])
+
+    @property
+    def queueing_decomposition(self) -> Dict[str, float]:
+        """Mean per-request sojourn split into batching/dispatch/service."""
+        n = max(self.num_requests, 1)
+        return {
+            "batching": sum(s.batching_delay for s in self.served) / n,
+            "dispatch": sum(s.dispatch_delay for s in self.served) / n,
+            "service": sum(s.service_seconds for s in self.served) / n,
+        }
+
+    @property
+    def shard_utilization(self) -> List[float]:
+        """Per-shard fraction of the makespan spent serving batches."""
+        if self.makespan_seconds <= 0:
+            return [0.0 for _ in self.shard_busy_seconds]
+        return [busy / self.makespan_seconds for busy in self.shard_busy_seconds]
+
+    def service_reports(self) -> List[ServiceReport]:
+        """Per-request service reports in request arrival order.
+
+        With a 1-shard cluster and batch size 1 this list is element-wise
+        equal to ``GNNService.serve_many`` on the same workloads (the
+        identity contract the property tests enforce).
+        """
+        ordered = sorted(
+            self.served,
+            key=lambda s: (s.request.arrival_seconds, s.request.request_id),
+        )
+        return [s.report for s in ordered]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary (per-request records elided)."""
+        return {
+            "system": self.system,
+            "policy": self.policy,
+            "num_shards": self.num_shards,
+            "num_requests": self.num_requests,
+            "num_batches": self.num_batches,
+            "makespan_seconds": self.makespan_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency": self.latency.as_dict(),
+            "queueing_decomposition": self.queueing_decomposition,
+            "shard_utilization": self.shard_utilization,
+            "shard_requests": list(self.shard_requests),
+        }
+
+
+def _home_shard(batch: RequestBatch, num_shards: int) -> int:
+    """Stable home shard of a batch's workload key (process-independent)."""
+    return zlib.crc32(repr(batch.key).encode("utf-8")) % num_shards
+
+
+class ShardedServiceCluster:
+    """N replicated GNN services behind one queue and batch scheduler.
+
+    Args:
+        service: template service; each shard is an independent
+            ``service.replicate()`` (own preprocessing-system state).
+        num_shards: replica count (>= 1).
+        scheduler: batching policy (defaults to per-request batches, i.e.
+            ``BatchScheduler(max_batch_size=1)``).
+        policy: dispatch policy, one of :data:`DISPATCH_POLICIES`.
+        locality_spill_seconds: under the locality policy, a batch spills
+            from its home shard to the earliest-free shard when the home
+            backlog exceeds this many seconds (``inf`` pins strictly).
+    """
+
+    def __init__(
+        self,
+        service: GNNService,
+        num_shards: int = 1,
+        scheduler: Optional[BatchScheduler] = None,
+        policy: str = POLICY_LEAST_LOADED,
+        locality_spill_seconds: float = float("inf"),
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if policy not in DISPATCH_POLICIES:
+            raise ValueError(
+                f"unknown dispatch policy {policy!r}; expected one of {DISPATCH_POLICIES}"
+            )
+        if locality_spill_seconds < 0:
+            raise ValueError("locality_spill_seconds must be non-negative")
+        self.template = service
+        self.shards: List[GNNService] = [service.replicate() for _ in range(num_shards)]
+        self.scheduler = scheduler or BatchScheduler(max_batch_size=1)
+        self.policy = policy
+        self.locality_spill_seconds = locality_spill_seconds
+        self._rr_next = 0
+
+    @property
+    def num_shards(self) -> int:
+        """Number of service replicas."""
+        return len(self.shards)
+
+    @property
+    def system_name(self) -> str:
+        """Preprocessing-system label of the replicas."""
+        return self.template.preprocessing.name
+
+    # -------------------------------------------------------------- dispatch
+    def _pick_shard(self, batch: RequestBatch, busy_until: List[float]) -> int:
+        least_loaded = min(range(len(busy_until)), key=lambda i: (busy_until[i], i))
+        if self.policy == POLICY_ROUND_ROBIN:
+            shard = self._rr_next
+            self._rr_next = (self._rr_next + 1) % self.num_shards
+            return shard
+        if self.policy == POLICY_LOCALITY:
+            home = _home_shard(batch, self.num_shards)
+            backlog = busy_until[home] - batch.ready_seconds
+            if backlog <= self.locality_spill_seconds:
+                return home
+            return least_loaded
+        return least_loaded
+
+    # --------------------------------------------------------------- serving
+    def serve_trace(self, trace: RequestTrace) -> ClusterReport:
+        """Replay a trace through the cluster and merge the outcome.
+
+        Event-driven and fully simulated: batches are dispatched in the
+        order they close; a batch starts at ``max(ready, shard free)`` and
+        occupies its shard for the batch's modelled end-to-end latency.
+        """
+        if not len(trace):
+            raise ValueError("cannot serve an empty trace")
+        self._rr_next = 0
+        batches = self.scheduler.schedule(trace)
+        busy_until = [0.0] * self.num_shards
+        busy_total = [0.0] * self.num_shards
+        shard_requests = [0] * self.num_shards
+        served: List[ServedRequest] = []
+        last_finish = 0.0
+        for batch in batches:
+            shard_id = self._pick_shard(batch, busy_until)
+            start = max(batch.ready_seconds, busy_until[shard_id])
+            report = self.shards[shard_id].serve(batch.workload)
+            duration = report.total_seconds
+            finish = start + duration
+            busy_until[shard_id] = finish
+            busy_total[shard_id] += duration
+            shard_requests[shard_id] += len(batch)
+            last_finish = max(last_finish, finish)
+            for request in batch.requests:
+                served.append(
+                    ServedRequest(
+                        request=request,
+                        shard_id=shard_id,
+                        batch_size=len(batch),
+                        batching_delay=batch.batching_delay(request),
+                        dispatch_delay=start - batch.ready_seconds,
+                        service_seconds=duration,
+                        report=report,
+                    )
+                )
+        first_arrival = trace[0].arrival_seconds
+        return ClusterReport(
+            system=self.system_name,
+            policy=self.policy,
+            num_shards=self.num_shards,
+            served=served,
+            num_batches=len(batches),
+            makespan_seconds=last_finish - first_arrival,
+            shard_busy_seconds=busy_total,
+            shard_requests=shard_requests,
+        )
+
+    def serve_workloads(self, workloads: List[WorkloadProfile]) -> ClusterReport:
+        """Serve a plain workload list as a zero-gap trace (back-to-back)."""
+        requests = [
+            InferenceRequest(request_id=i, arrival_seconds=0.0, workload=w)
+            for i, w in enumerate(workloads)
+        ]
+        return self.serve_trace(RequestTrace(requests))
+
+
+def build_reference_clusters(
+    num_shards: int = 1,
+    scheduler: Optional[BatchScheduler] = None,
+    policy: str = POLICY_LEAST_LOADED,
+    tuning_workload: Optional[WorkloadProfile] = None,
+) -> Dict[str, ShardedServiceCluster]:
+    """Sharded clusters for all seven compared systems of Fig. 18.
+
+    Every cluster can be driven by the same traffic trace, which is how the
+    serving benchmark compares CPU / GPU / GSamp / FPGA / AutoPre / StatPre /
+    DynPre under identical offered load.
+    """
+    return {
+        name: ShardedServiceCluster(
+            service, num_shards=num_shards, scheduler=scheduler, policy=policy
+        )
+        for name, service in build_services(tuning_workload).items()
+    }

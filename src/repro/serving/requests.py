@@ -1,0 +1,244 @@
+"""Timestamped inference requests, the request queue and arrival generators.
+
+The serving layer models traffic instead of a bare workload list: every
+:class:`InferenceRequest` carries a simulated arrival timestamp, a
+:class:`RequestTrace` is an arrival-ordered sequence of requests, and the
+generators turn a mix of :class:`~repro.system.workload.WorkloadProfile`\\ s
+into a trace either open-loop (requests arrive at a fixed offered rate, no
+matter how the service keeps up) or closed-loop (a fixed client population
+issues the next request only after the previous one is estimated to finish).
+
+All timestamps are simulated seconds; nothing in this module reads the wall
+clock, so traces are fully deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.system.workload import WorkloadProfile
+
+#: Supported open-loop inter-arrival processes.
+ARRIVAL_PROCESSES = ("poisson", "uniform")
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One timestamped GNN inference request.
+
+    Attributes:
+        request_id: unique, monotonically increasing identifier within a trace.
+        arrival_seconds: simulated arrival time of the request.
+        workload: the workload profile the request asks the service to run.
+    """
+
+    request_id: int
+    arrival_seconds: float
+    workload: WorkloadProfile
+
+
+@dataclass
+class RequestTrace:
+    """An arrival-ordered sequence of inference requests.
+
+    Requests are sorted by ``(arrival_seconds, request_id)`` on construction,
+    so iteration order is always arrival order regardless of how the trace
+    was assembled.
+    """
+
+    requests: List[InferenceRequest] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.requests = sorted(
+            self.requests, key=lambda r: (r.arrival_seconds, r.request_id)
+        )
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[InferenceRequest]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> InferenceRequest:
+        return self.requests[index]
+
+    @property
+    def duration_seconds(self) -> float:
+        """Span between the first and last arrival (0 for short traces)."""
+        if len(self.requests) < 2:
+            return 0.0
+        return self.requests[-1].arrival_seconds - self.requests[0].arrival_seconds
+
+    @property
+    def offered_rate_rps(self) -> float:
+        """Average offered load of the trace in requests per second."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return (len(self.requests) - 1) / self.duration_seconds
+
+    def workloads(self) -> List[WorkloadProfile]:
+        """The workload of every request, in arrival order."""
+        return [request.workload for request in self.requests]
+
+
+class RequestQueue:
+    """A time-ordered queue of pending inference requests.
+
+    Requests may be pushed in any order; the queue always pops the earliest
+    arrival first, and ``pop_ready`` drains every request that has arrived
+    by a given simulated time.  This is the online front-end of the serving
+    layer (a driver feeds arrivals in as they happen); the offline
+    :class:`~repro.serving.scheduler.BatchScheduler` replay path iterates a
+    complete :class:`RequestTrace` directly instead.
+    """
+
+    def __init__(self, requests: Optional[Sequence[InferenceRequest]] = None) -> None:
+        self._heap: List[tuple] = []
+        for request in requests or ():
+            self.push(request)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, request: InferenceRequest) -> None:
+        """Add a request (arrival timestamps need not be monotone)."""
+        heapq.heappush(self._heap, (request.arrival_seconds, request.request_id, request))
+
+    def peek_arrival(self) -> Optional[float]:
+        """Arrival time of the earliest pending request (None when empty)."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> InferenceRequest:
+        """Remove and return the earliest pending request."""
+        if not self._heap:
+            raise IndexError("pop from an empty RequestQueue")
+        return heapq.heappop(self._heap)[2]
+
+    def pop_ready(self, now_seconds: float) -> List[InferenceRequest]:
+        """Remove and return every request that has arrived by ``now_seconds``."""
+        ready: List[InferenceRequest] = []
+        while self._heap and self._heap[0][0] <= now_seconds:
+            ready.append(self.pop())
+        return ready
+
+
+def _workload_mix(
+    workloads: Sequence[WorkloadProfile], rng: np.random.Generator, count: int
+) -> List[WorkloadProfile]:
+    """Pick ``count`` workloads from the mix (uniform, seeded)."""
+    if not workloads:
+        raise ValueError("workload mix must be non-empty")
+    if len(workloads) == 1:
+        return [workloads[0]] * count
+    picks = rng.integers(0, len(workloads), size=count)
+    return [workloads[int(i)] for i in picks]
+
+
+@dataclass
+class OpenLoopArrivals:
+    """Open-loop traffic: requests arrive at an offered rate regardless of
+    service progress (the standard serving-benchmark regime).
+
+    Attributes:
+        workloads: the workload mix requests are drawn from (uniformly).
+        rate_rps: offered load in requests per second.
+        process: ``"poisson"`` for exponential inter-arrival gaps or
+            ``"uniform"`` for a fixed gap of ``1 / rate_rps``.
+        seed: RNG seed for both gaps and workload picks.
+    """
+
+    workloads: Sequence[WorkloadProfile]
+    rate_rps: float
+    process: str = "poisson"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.process!r}; expected one of {ARRIVAL_PROCESSES}"
+            )
+
+    def trace(self, num_requests: int) -> RequestTrace:
+        """Generate a trace of ``num_requests`` timestamped requests."""
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        rng = np.random.default_rng(self.seed)
+        if self.process == "poisson":
+            gaps = rng.exponential(1.0 / self.rate_rps, size=num_requests)
+        else:
+            gaps = np.full(num_requests, 1.0 / self.rate_rps)
+        arrivals = np.cumsum(gaps)
+        mix = _workload_mix(self.workloads, rng, num_requests)
+        requests = [
+            InferenceRequest(
+                request_id=i, arrival_seconds=float(arrivals[i]), workload=mix[i]
+            )
+            for i in range(num_requests)
+        ]
+        return RequestTrace(requests)
+
+
+@dataclass
+class ClosedLoopArrivals:
+    """Closed-loop traffic: ``num_clients`` clients issue one request at a
+    time and think for ``think_seconds`` between requests.
+
+    The generator is decoupled from the cluster, so a client's next issue
+    time uses ``service_time_fn`` as an *estimate* of its previous request's
+    completion (a co-simulated closed loop would feed actual finish times
+    back; the estimate keeps trace generation deterministic and reusable
+    across clusters being compared on identical traffic).
+
+    Attributes:
+        workloads: the workload mix requests are drawn from (uniformly).
+        num_clients: concurrent client population.
+        think_seconds: idle time between a completion estimate and the next
+            request of the same client.
+        service_time_fn: estimated service latency of one workload (seconds).
+        seed: RNG seed for workload picks.
+    """
+
+    workloads: Sequence[WorkloadProfile]
+    num_clients: int
+    think_seconds: float = 0.0
+    service_time_fn: Optional[Callable[[WorkloadProfile], float]] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if self.think_seconds < 0:
+            raise ValueError("think_seconds must be non-negative")
+
+    def trace(self, num_requests: int) -> RequestTrace:
+        """Generate a trace of ``num_requests`` timestamped requests."""
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        rng = np.random.default_rng(self.seed)
+        estimate = self.service_time_fn or (lambda workload: 0.0)
+        mix = _workload_mix(self.workloads, rng, num_requests)
+        # Min-heap of (next issue time, client id): clients start staggered at
+        # t = 0 so the first wave arrives together, like a load generator.
+        clients = [(0.0, c) for c in range(self.num_clients)]
+        heapq.heapify(clients)
+        requests: List[InferenceRequest] = []
+        for i in range(num_requests):
+            issue_at, client = heapq.heappop(clients)
+            workload = mix[i]
+            requests.append(
+                InferenceRequest(request_id=i, arrival_seconds=issue_at, workload=workload)
+            )
+            done_estimate = issue_at + max(estimate(workload), 0.0)
+            heapq.heappush(clients, (done_estimate + self.think_seconds, client))
+        return RequestTrace(requests)

@@ -1,0 +1,126 @@
+"""Batch scheduler: coalesce compatible requests into batched preprocessing.
+
+Requests whose workloads agree on everything except the seed-batch size (see
+:meth:`~repro.system.workload.WorkloadProfile.batch_key`) can share one
+preprocessing pass: their seed sets are concatenated, so the batched pass is
+the same workload with the batch sizes summed — exactly what the vectorized
+samplers' batch APIs (``CSCGraph.in_neighbors_batch``) exploit on the
+functional path, and what the analytic models price through ``batch_size``.
+
+The scheduler implements the classic size-or-timeout policy: a batch closes
+as soon as it reaches ``max_batch_size`` (ready at the filling request's
+arrival) or when ``max_wait_seconds`` elapse after its first request arrived
+(ready at that deadline), whichever comes first.  With ``max_batch_size=1``
+every request becomes its own batch, ready at its own arrival, which is the
+contract the 1-shard identity test leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.serving.requests import InferenceRequest, RequestTrace
+from repro.system.workload import WorkloadProfile
+
+
+@dataclass
+class RequestBatch:
+    """A group of compatible requests served by one preprocessing pass.
+
+    Attributes:
+        requests: member requests in arrival order.
+        ready_seconds: simulated time at which the batch closed and became
+            dispatchable (arrival of the filling request, or the batching
+            timeout deadline).
+    """
+
+    requests: List[InferenceRequest]
+    ready_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def key(self) -> Hashable:
+        """The compatibility key all member workloads share."""
+        return self.requests[0].workload.batch_key
+
+    @property
+    def workload(self) -> WorkloadProfile:
+        """The merged workload of the batch: member batch sizes summed."""
+        base = self.requests[0].workload
+        total = sum(request.workload.batch_size for request in self.requests)
+        return base.with_batch_size(total)
+
+    @property
+    def first_arrival_seconds(self) -> float:
+        """Arrival time of the earliest member request."""
+        return self.requests[0].arrival_seconds
+
+    def batching_delay(self, request: InferenceRequest) -> float:
+        """Time ``request`` spent waiting for its batch to close."""
+        return self.ready_seconds - request.arrival_seconds
+
+
+class BatchScheduler:
+    """Size-or-timeout batching over a request trace.
+
+    Args:
+        max_batch_size: maximum requests coalesced into one pass (>= 1).
+        max_wait_seconds: how long the first request of a batch may wait for
+            companions before the batch closes anyway (>= 0; 0 disables
+            cross-request batching unless arrivals coincide exactly).
+    """
+
+    def __init__(self, max_batch_size: int = 8, max_wait_seconds: float = 0.0) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_seconds < 0:
+            raise ValueError("max_wait_seconds must be non-negative")
+        self.max_batch_size = max_batch_size
+        self.max_wait_seconds = max_wait_seconds
+
+    def schedule(self, trace: RequestTrace) -> List[RequestBatch]:
+        """Group the trace into batches, ordered by the time they close.
+
+        Deterministic: depends only on the trace and the scheduler's two
+        parameters, never on cluster state, so the same trace produces the
+        same batches regardless of how many shards later serve them.
+        """
+        open_batches: Dict[Hashable, Tuple[List[InferenceRequest], float]] = {}
+        closed: List[RequestBatch] = []
+
+        def close(key: Hashable, ready_seconds: float) -> None:
+            members, _ = open_batches.pop(key)
+            closed.append(RequestBatch(requests=members, ready_seconds=ready_seconds))
+
+        for request in trace:
+            now = request.arrival_seconds
+            # Timers of batches whose deadline passed before this arrival fire
+            # first, in deadline order, so ready times stay monotone.
+            expired = sorted(
+                (deadline, key)
+                for key, (_, deadline) in open_batches.items()
+                if deadline <= now
+            )
+            for deadline, key in expired:
+                close(key, deadline)
+
+            key = request.workload.batch_key
+            if key not in open_batches:
+                open_batches[key] = ([], now + self.max_wait_seconds)
+            members, deadline = open_batches[key]
+            members.append(request)
+            if len(members) >= self.max_batch_size:
+                close(key, now)
+
+        # Remaining batches wait out their timers (the trace has ended, so no
+        # filler request can close them early).
+        for deadline, key in sorted(
+            (deadline, key) for key, (_, deadline) in open_batches.items()
+        ):
+            close(key, deadline)
+
+        closed.sort(key=lambda batch: (batch.ready_seconds, batch.requests[0].request_id))
+        return closed

@@ -10,13 +10,12 @@ transfer layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
-import numpy as np
 
 from repro.core.bitstream import BitstreamLibrary, generate_bitstream_library
-from repro.core.config import HardwareConfig, KERNEL_CLOCK_HZ, scaled_default_config
+from repro.core.config import HardwareConfig, scaled_default_config
 from repro.core.cost_model import CostEstimate, CostModel
 from repro.core.reconfig import ReconfigurationController, ReconfigurationEvent
 from repro.graph.coo import COOGraph

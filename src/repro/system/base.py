@@ -74,6 +74,19 @@ class PreprocessingSystem(ABC):
     def evaluate(self, workload: WorkloadProfile) -> SystemLatency:
         """Model one preprocessing pass of ``workload`` on this system."""
 
+    def replicate(self) -> "PreprocessingSystem":
+        """A fresh instance with the same configuration and no shared state.
+
+        The sharded serving cluster calls this once per shard so that every
+        replica carries its own mutable state (bitstream configuration,
+        reconfiguration history, caches).  Immutable inputs (calibrations,
+        PCIe links, bitstream libraries) may be shared.  Subclasses whose
+        constructors take more than ``pcie`` must override.
+        """
+        clone = type(self)(pcie=self.pcie)
+        clone.name = self.name
+        return clone
+
     # ------------------------------------------------------------- niceties
     def preprocessing_latency(self, workload: WorkloadProfile) -> TaskLatencies:
         """Per-task preprocessing latencies only."""

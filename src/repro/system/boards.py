@@ -9,7 +9,7 @@ evaluation boards; they only matter as relative magnitudes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.core.config import FPGAResources
 

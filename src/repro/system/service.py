@@ -10,10 +10,10 @@ actually produces a correct subgraph.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.analysis.metrics import EndToEndLatency, TaskLatencies
+from repro.analysis.metrics import EndToEndLatency
 from repro.system.base import PreprocessingSystem, SystemLatency
 from repro.baselines.cpu import CPUPreprocessingSystem
 from repro.baselines.fpga_sampler import FPGASamplerSystem
@@ -118,8 +118,42 @@ class GNNService:
         )
 
     def serve_many(self, workloads: List[WorkloadProfile]) -> List[ServiceReport]:
-        """Model a sequence of passes (stateful systems keep their state)."""
+        """Model a sequence of passes over this service, in list order.
+
+        Contract:
+
+        * ``workloads`` must be non-empty (a ``ValueError`` is raised
+          otherwise — an empty pass would silently produce no report and
+          mask caller bugs).
+        * Passes execute sequentially on this service's single preprocessing
+          system, so stateful systems (e.g. DynPre's reconfiguration state)
+          carry their state from one pass to the next.
+        * Every pass runs under this service's execution ``mode``, which is
+          re-validated here so a mode mutated after construction fails fast
+          instead of silently degrading.
+        * Exactly one report is returned per workload, in input order.  A
+          1-shard, batch-size-1 serving cluster over the same workloads
+          reproduces this report list exactly (test-enforced).
+        """
+        if not workloads:
+            raise ValueError("serve_many requires a non-empty workload list")
+        self.mode = check_mode(self.mode)
         return [self.serve(w) for w in workloads]
+
+    def replicate(self) -> "GNNService":
+        """A fresh service over a replicated preprocessing system.
+
+        The replica shares the stateless inference-latency model but gets
+        its own preprocessing-system instance (per-shard bitstream/LUT
+        state) and inherits this service's power platform and execution
+        mode.  The sharded serving cluster builds one replica per shard.
+        """
+        return GNNService(
+            self.preprocessing.replicate(),
+            inference=self.inference,
+            power_platform=self.power.preprocessing_platform,
+            mode=self.mode,
+        )
 
     # ------------------------------------------------------- functional path
     def preprocess_functional(

@@ -18,16 +18,14 @@ UPE region is organised and whether the hardware reconfigures at runtime
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.analysis.metrics import TaskLatencies
 from repro.system.base import PreprocessingSystem, SystemLatency
 from repro.core.accelerator import AcceleratedPreprocessing, AutoGNNDevice
 from repro.core.bitstream import BitstreamLibrary, generate_bitstream_library
 from repro.core.config import (
-    DEFAULT_SCR_AREA_FRACTION,
     FPGAResources,
     HardwareConfig,
     KERNEL_CLOCK_HZ,
@@ -110,7 +108,23 @@ class AutoGNNVariant(PreprocessingSystem):
         self.mode = check_mode(mode)
         if device_bandwidth is None:
             device_bandwidth = getattr(board, "dram_bandwidth", DEVICE_BANDWIDTH)
+        # Kept pre-efficiency so replicas can be constructed from it without
+        # compounding the efficiency factor.
+        self._device_bandwidth_raw = device_bandwidth
         self.device_bandwidth = device_bandwidth * DEVICE_BANDWIDTH_EFFICIENCY
+
+    def replicate(self) -> "AutoGNNVariant":
+        """Fresh instance with this variant's configuration (per-shard state)."""
+        clone = type(self)(
+            config=self.config,
+            board=self.board,
+            pcie=self.pcie,
+            clock_hz=self.clock_hz,
+            device_bandwidth=self._device_bandwidth_raw,
+            mode=self.mode,
+        )
+        clone.name = self.name
+        return clone
 
     # ------------------------------------------------------- functional path
     def preprocess_functional(
@@ -339,6 +353,26 @@ class DynPreSystem(AutoGNNVariant):
         self.optimize_upe = optimize_upe
         self.reconfigure_threshold = reconfigure_threshold
         self.reconfig = ReconfigurationController(self.library, self.config)
+
+    def replicate(self) -> "DynPreSystem":
+        """Fresh replica: shares the immutable bitstream library but carries
+        its own configuration state and reconfiguration controller, so each
+        shard of a serving cluster adapts to its own traffic independently."""
+        clone = type(self)(
+            library=self.library,
+            board=self.board,
+            optimize_area=self.optimize_area,
+            optimize_scr=self.optimize_scr,
+            optimize_upe=self.optimize_upe,
+            reconfigure_threshold=self.reconfigure_threshold,
+            config=self.config,
+            pcie=self.pcie,
+            clock_hz=self.clock_hz,
+            device_bandwidth=self._device_bandwidth_raw,
+            mode=self.mode,
+        )
+        clone.name = self.name
+        return clone
 
     # ---------------------------------------------------------- configuration
     def _candidate_configs(self) -> List[HardwareConfig]:

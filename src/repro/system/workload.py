@@ -122,6 +122,33 @@ class WorkloadProfile:
         """Copy with a different incremental-update fraction."""
         return replace(self, update_fraction=update_fraction)
 
+    def with_batch_size(self, batch_size: int) -> "WorkloadProfile":
+        """Copy with a different seed-batch size (used by request batching)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return replace(self, batch_size=batch_size)
+
+    @property
+    def batch_key(self) -> tuple:
+        """Key under which requests can share one batched preprocessing pass.
+
+        Two workloads are batch-compatible when they agree on everything
+        except ``batch_size``: their seed sets can then be concatenated and
+        preprocessed together, with the merged pass priced at the summed
+        batch size.
+        """
+        return (
+            self.name,
+            self.num_nodes,
+            self.num_edges,
+            self.avg_degree,
+            self.num_layers,
+            self.k,
+            self.feature_dim,
+            self.update_fraction,
+            self.model_name,
+        )
+
     def scaled_edges(self, factor: float) -> "WorkloadProfile":
         """Copy with the edge count (and node count) scaled by ``factor``."""
         return replace(

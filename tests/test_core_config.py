@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.core.bitstream import BitstreamLibrary, generate_bitstream_library
+from repro.core.bitstream import generate_bitstream_library
 from repro.core.config import (
     DEFAULT_HARDWARE,
     FPGAResources,
     HardwareConfig,
-    VPK180,
     max_scr_width_for_budget,
     max_upes_for_budget,
     scaled_default_config,

@@ -1,7 +1,6 @@
 """Tests for Algorithm 1: UPE-based merge sorting."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.merge import merge_rounds, upe_merge, upe_merge_sort

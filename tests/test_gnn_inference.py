@@ -1,7 +1,6 @@
 """Tests for the inference engine and its latency model."""
 
 import numpy as np
-import pytest
 
 from repro.core.accelerator import AutoGNNDevice
 from repro.core.config import HardwareConfig

@@ -12,7 +12,7 @@ from repro.gnn.layers import (
     mean_aggregate,
     sum_aggregate,
 )
-from repro.gnn.models import GAT, GCN, GIN, MODEL_REGISTRY, GraphSAGE, build_model
+from repro.gnn.models import GCN, MODEL_REGISTRY, GraphSAGE, build_model
 from repro.graph.csc import CSCGraph
 from repro.graph.convert import coo_to_csc
 from repro.graph.reindex import reindex_edges

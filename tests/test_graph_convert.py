@@ -1,7 +1,6 @@
 """Tests for COO <-> CSC conversion, including property-based checks."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph.coo import COOGraph

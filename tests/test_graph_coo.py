@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.graph.coo import COOGraph, VID_DTYPE
+from repro.graph.coo import COOGraph
 
 
 def make_graph():

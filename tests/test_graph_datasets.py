@@ -6,7 +6,6 @@ import pytest
 from repro.graph.datasets import (
     DATASETS,
     DATASET_ORDER,
-    DEFAULT_SCALE,
     dataset_table,
     datasets_by_category,
     load_dataset,

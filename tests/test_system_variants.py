@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.bitstream import generate_bitstream_library
-from repro.core.config import scaled_default_config
 from repro.core.reconfig import FULL_RECONFIG_SECONDS
 from repro.system.agnn_lib import AGNNLib, GraphProfile
 from repro.system.variants import (
@@ -73,7 +72,7 @@ class TestVariants:
 class TestDynPre:
     def test_reconfigures_for_new_workload(self, workload_small, workload_large):
         system = DynPreSystem()
-        first = system.evaluate(workload_small)
+        system.evaluate(workload_small)
         config_after_small = system.config.key()
         second = system.evaluate(workload_large)
         # Either the configuration changed (reconfiguration charged) or the

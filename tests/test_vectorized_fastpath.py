@@ -20,7 +20,7 @@ from repro.core.kernels import (
     reshaping_cycle_count,
 )
 from repro.graph.convert import coo_to_csc, edge_order
-from repro.graph.coo import COOGraph, VID_DTYPE
+from repro.graph.coo import VID_DTYPE
 from repro.graph.generators import GraphSpec, power_law_graph
 from repro.graph.reindex import (
     factorize_first_occurrence,
