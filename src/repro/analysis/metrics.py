@@ -170,6 +170,70 @@ class LatencyStats:
         }
 
 
+@dataclass
+class GoodputStats:
+    """Offered/served/shed accounting of one SLO-scored serving run.
+
+    ``offered == served + shed`` by construction (the control plane either
+    admits a request or sheds it at arrival; nothing is dropped silently),
+    and ``goodput_rps <= throughput_rps`` because only served requests that
+    met their SLO count as goodput.
+
+    Attributes:
+        offered: requests that reached the cluster front-end.
+        served: requests that completed service.
+        shed: requests rejected at admission.
+        slo_met: served requests whose sojourn met their SLO.
+        makespan_seconds: first arrival to last completion.
+    """
+
+    offered: int = 0
+    served: int = 0
+    shed: int = 0
+    slo_met: int = 0
+    makespan_seconds: float = 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests rejected at admission."""
+        if self.offered <= 0:
+            return 0.0
+        return self.shed / self.offered
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of served requests that met their SLO."""
+        if self.served <= 0:
+            return 0.0
+        return self.slo_met / self.served
+
+    @property
+    def throughput_rps(self) -> float:
+        """Served requests per second of makespan."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.served / self.makespan_seconds
+
+    @property
+    def goodput_rps(self) -> float:
+        """SLO-met served requests per second of makespan."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.slo_met / self.makespan_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the accounting (for JSON reports)."""
+        return {
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "slo_met": self.slo_met,
+            "slo_attainment": self.slo_attainment,
+            "goodput_rps": self.goodput_rps,
+        }
+
+
 def speedup(baseline: float, candidate: float) -> float:
     """Baseline-over-candidate latency ratio (``>1`` means candidate is faster)."""
     if candidate <= 0:

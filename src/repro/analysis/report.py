@@ -98,6 +98,17 @@ def format_distribution(title: str, stats_by_label: Mapping[str, object]) -> str
     return format_table(title, columns, rows)
 
 
+def format_timeline(title: str, events: Sequence[object]) -> str:
+    """Format a scaling timeline (autoscaler events) as a table.
+
+    Each event must expose ``seconds``/``active_shards``/``reason``
+    attributes (duck-typed against the control plane's ``ScalingEvent``).
+    """
+    columns = ["t_seconds", "active_shards", "reason"]
+    rows = [[event.seconds, event.active_shards, event.reason] for event in events]
+    return format_table(title, columns, rows)
+
+
 def print_table(title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
     """Print a formatted table (convenience for benchmark scripts)."""
     print()

@@ -1,23 +1,31 @@
-"""Serving layer: request traffic, batching and sharded service clusters.
+"""Serving layer: request traffic, batching, sharded clusters, control plane.
 
 This package lifts the reproduction from single-pass modelling to a served
 traffic regime:
 
-* :mod:`repro.serving.requests` — timestamped requests, the request queue
-  and open/closed-loop arrival generators over workload profiles.
+* :mod:`repro.serving.requests` — timestamped requests, the request queue,
+  open/closed-loop arrival generators over workload profiles and the online
+  arrival sources (trace replay, co-simulated closed-loop clients).
 * :mod:`repro.serving.scheduler` — size-or-timeout coalescing of compatible
   requests into batched preprocessing passes.
 * :mod:`repro.serving.cluster` — N-way replicated GNN services with
-  round-robin / least-loaded / locality dispatch and merged cluster reports
-  (throughput, latency percentiles, queueing decomposition, utilisation).
+  round-robin / least-loaded / reconfiguration-state-aware locality dispatch,
+  an offline trace-replay loop and an online co-simulated event loop, merged
+  into cluster reports (throughput, latency percentiles, queueing
+  decomposition, utilisation, goodput/shed accounting).
+* :mod:`repro.serving.control` — the SLO-aware control plane: per-workload
+  latency objectives, predictive admission control / load shedding and a
+  hysteresis queue-depth autoscaler with bitstream warm-up penalties.
 """
 
 from repro.serving.requests import (
     ClosedLoopArrivals,
+    ClosedLoopClients,
     InferenceRequest,
     OpenLoopArrivals,
     RequestQueue,
     RequestTrace,
+    TraceArrivals,
 )
 from repro.serving.scheduler import BatchScheduler, RequestBatch
 from repro.serving.cluster import (
@@ -28,7 +36,16 @@ from repro.serving.cluster import (
     ClusterReport,
     ServedRequest,
     ShardedServiceCluster,
+    ShedRecord,
     build_reference_clusters,
+)
+from repro.serving.control import (
+    AdmissionController,
+    AdmissionDecision,
+    Autoscaler,
+    ScalingEvent,
+    ServingController,
+    SLOPolicy,
 )
 
 __all__ = [
@@ -37,14 +54,23 @@ __all__ = [
     "RequestQueue",
     "OpenLoopArrivals",
     "ClosedLoopArrivals",
+    "ClosedLoopClients",
+    "TraceArrivals",
     "BatchScheduler",
     "RequestBatch",
     "ShardedServiceCluster",
     "ServedRequest",
+    "ShedRecord",
     "ClusterReport",
     "build_reference_clusters",
     "DISPATCH_POLICIES",
     "POLICY_ROUND_ROBIN",
     "POLICY_LEAST_LOADED",
     "POLICY_LOCALITY",
+    "SLOPolicy",
+    "AdmissionController",
+    "AdmissionDecision",
+    "Autoscaler",
+    "ScalingEvent",
+    "ServingController",
 ]

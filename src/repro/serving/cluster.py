@@ -3,10 +3,21 @@
 A :class:`ShardedServiceCluster` replicates one template
 :class:`~repro.system.service.GNNService` into ``num_shards`` independent
 shards (each with its own preprocessing-system state — bitstream/LUT
-configuration, reconfiguration history — via ``GNNService.replicate``),
-groups a :class:`~repro.serving.requests.RequestTrace` into batches with a
-:class:`~repro.serving.scheduler.BatchScheduler`, and replays the batches
-through an event-driven simulation under a configurable dispatch policy.
+configuration, reconfiguration history — via ``GNNService.replicate``) and
+serves traffic through one of two event loops:
+
+* :meth:`ShardedServiceCluster.serve_trace` — offline replay: a complete
+  :class:`~repro.serving.requests.RequestTrace` is batched up front by the
+  :class:`~repro.serving.scheduler.BatchScheduler` and the batches are
+  dispatched in the order they close.
+* :meth:`ShardedServiceCluster.serve_online` — online co-simulation: an
+  arrival *source* (:class:`~repro.serving.requests.TraceArrivals` or the
+  closed-loop :class:`~repro.serving.requests.ClosedLoopClients`) is drained
+  event by event, batches form incrementally under the same size-or-timeout
+  policy, and the control plane (admission control, autoscaling — see
+  :mod:`repro.serving.control`) hooks into every arrival.  Completion times
+  are fed back to the source, which is what closes the loop for co-simulated
+  client populations.
 
 The per-request sojourn time decomposes exactly as::
 
@@ -16,24 +27,38 @@ where *batching* is the wait for the batch to close, *dispatch* is the wait
 for the chosen shard to drain its backlog, and *service* is the batch's
 end-to-end service latency on that shard.  The merged
 :class:`ClusterReport` aggregates throughput, latency percentiles, the
-queueing-delay decomposition and per-shard utilisation.
+queueing-delay decomposition, per-shard utilisation and — for controlled
+runs — the goodput / shed-rate accounting and the scaling timeline.
 """
 
 from __future__ import annotations
 
+import heapq
 import zlib
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.analysis.metrics import LatencyStats
+from repro.analysis.metrics import GoodputStats, LatencyStats
+
+if TYPE_CHECKING:  # control.py only imports repro.system.workload — no cycle,
+    # but the runtime layering (control on top of cluster) is kept one-way.
+    from repro.serving.control import (
+        AdmissionController,
+        AdmissionDecision,
+        Autoscaler,
+        ScalingEvent,
+        SLOPolicy,
+    )
 from repro.serving.requests import InferenceRequest, RequestTrace
 from repro.serving.scheduler import BatchScheduler, RequestBatch
 from repro.system.service import GNNService, ServiceReport, build_services
 from repro.system.workload import WorkloadProfile
 
-#: Dispatch policies: cycle shards, pick the earliest-free shard, or pin each
-#: workload key to a home shard (spilling to the earliest-free shard when the
-#: home shard's backlog exceeds the spill threshold).
+#: Dispatch policies: cycle shards, pick the earliest-free shard, or prefer
+#: shards whose reconfigurable state already suits the batch (falling back to
+#: a stable home shard by workload-key hash, and spilling to the earliest-free
+#: shard when the preferred shard's backlog exceeds the spill threshold).
 POLICY_ROUND_ROBIN = "round-robin"
 POLICY_LEAST_LOADED = "least-loaded"
 POLICY_LOCALITY = "locality"
@@ -74,6 +99,23 @@ class ServedRequest:
 
 
 @dataclass
+class ShedRecord:
+    """One request the admission controller rejected at arrival.
+
+    Attributes:
+        request: the rejected request.
+        shed_seconds: simulated time of the rejection (the arrival instant).
+        predicted_sojourn: the sojourn prediction that caused the rejection.
+        slo_seconds: the SLO the prediction was compared against.
+    """
+
+    request: InferenceRequest
+    shed_seconds: float
+    predicted_sojourn: float
+    slo_seconds: float
+
+
+@dataclass
 class ClusterReport:
     """Merged outcome of serving one trace on a sharded cluster.
 
@@ -86,6 +128,10 @@ class ClusterReport:
         makespan_seconds: first arrival to last completion.
         shard_busy_seconds: per-shard total service time.
         shard_requests: per-shard served request counts.
+        shed: requests rejected at admission (controlled runs only).
+        slo: the SLO policy the run was scored against, or None.
+        decisions: admission decisions in arrival order (controlled runs).
+        scaling_timeline: autoscaler events of the run.
     """
 
     system: str
@@ -96,6 +142,10 @@ class ClusterReport:
     makespan_seconds: float
     shard_busy_seconds: List[float]
     shard_requests: List[int]
+    shed: List[ShedRecord] = field(default_factory=list)
+    slo: Optional["SLOPolicy"] = None
+    decisions: List["AdmissionDecision"] = field(default_factory=list)
+    scaling_timeline: List["ScalingEvent"] = field(default_factory=list)
 
     # ------------------------------------------------------------ aggregates
     @property
@@ -104,11 +154,60 @@ class ClusterReport:
         return len(self.served)
 
     @property
+    def num_shed(self) -> int:
+        """Requests rejected at admission."""
+        return len(self.shed)
+
+    @property
+    def num_offered(self) -> int:
+        """Requests that reached the cluster front-end (served + shed)."""
+        return self.num_requests + self.num_shed
+
+    @property
     def throughput_rps(self) -> float:
         """Completed requests per second of simulated makespan."""
         if self.makespan_seconds <= 0:
             return 0.0
         return self.num_requests / self.makespan_seconds
+
+    @property
+    def goodput(self) -> GoodputStats:
+        """Offered/served/shed/SLO-met accounting of the run.
+
+        Without an SLO every served request counts as good, so
+        ``goodput_rps == throughput_rps``; with one, only served requests
+        whose sojourn met their objective count.
+        """
+        if self.slo is None:
+            slo_met = self.num_requests
+        else:
+            slo_met = sum(
+                1
+                for s in self.served
+                if s.sojourn_seconds <= self.slo.slo_for(s.request.workload)
+            )
+        return GoodputStats(
+            offered=self.num_offered,
+            served=self.num_requests,
+            shed=self.num_shed,
+            slo_met=slo_met,
+            makespan_seconds=self.makespan_seconds,
+        )
+
+    @property
+    def goodput_rps(self) -> float:
+        """SLO-met served requests per second of makespan."""
+        return self.goodput.goodput_rps
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests rejected at admission."""
+        return self.goodput.shed_rate
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of served requests that met their SLO."""
+        return self.goodput.slo_attainment
 
     @property
     def latency(self) -> LatencyStats:
@@ -146,7 +245,12 @@ class ClusterReport:
         return [s.report for s in ordered]
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-serializable summary (per-request records elided)."""
+        """JSON-serializable summary (per-request records elided).
+
+        Fully deterministic for a deterministic run — the golden-report
+        regression tests serialize this dictionary and assert byte-stable
+        output across runs.
+        """
         return {
             "system": self.system,
             "policy": self.policy,
@@ -159,12 +263,30 @@ class ClusterReport:
             "queueing_decomposition": self.queueing_decomposition,
             "shard_utilization": self.shard_utilization,
             "shard_requests": list(self.shard_requests),
+            "goodput": self.goodput.as_dict(),
+            "slo": self.slo.as_dict() if self.slo is not None else None,
+            "scaling_timeline": [
+                [event.seconds, event.active_shards, event.reason]
+                for event in self.scaling_timeline
+            ],
         }
 
 
-def _home_shard(batch: RequestBatch, num_shards: int) -> int:
-    """Stable home shard of a batch's workload key (process-independent)."""
-    return zlib.crc32(repr(batch.key).encode("utf-8")) % num_shards
+def _home_shard(batch: RequestBatch, num_candidates: int) -> int:
+    """Stable home slot of a batch's workload key (process-independent)."""
+    return zlib.crc32(repr(batch.key).encode("utf-8")) % num_candidates
+
+
+class _LoopState:
+    """Mutable accounting shared by the offline and online event loops."""
+
+    def __init__(self, num_shards: int) -> None:
+        self.busy_until = [0.0] * num_shards
+        self.busy_total = [0.0] * num_shards
+        self.shard_requests = [0] * num_shards
+        self.served: List[ServedRequest] = []
+        self.num_batches = 0
+        self.last_finish = 0.0
 
 
 class ShardedServiceCluster:
@@ -178,8 +300,9 @@ class ShardedServiceCluster:
             ``BatchScheduler(max_batch_size=1)``).
         policy: dispatch policy, one of :data:`DISPATCH_POLICIES`.
         locality_spill_seconds: under the locality policy, a batch spills
-            from its home shard to the earliest-free shard when the home
-            backlog exceeds this many seconds (``inf`` pins strictly).
+            from its preferred shard to the earliest-free shard when the
+            preferred backlog exceeds this many seconds (``inf`` pins
+            strictly).
     """
 
     def __init__(
@@ -216,69 +339,265 @@ class ShardedServiceCluster:
         return self.template.preprocessing.name
 
     # -------------------------------------------------------------- dispatch
-    def _pick_shard(self, batch: RequestBatch, busy_until: List[float]) -> int:
-        least_loaded = min(range(len(busy_until)), key=lambda i: (busy_until[i], i))
+    def _pick_shard(
+        self,
+        batch: RequestBatch,
+        busy_until: List[float],
+        active: Sequence[int],
+    ) -> int:
+        """Choose a shard for ``batch`` among the ``active`` shard ids.
+
+        The locality policy is reconfiguration-state aware: shards whose
+        preprocessing state already suits the batch's workload (no bitstream
+        change would fire — see ``GNNService.configured_for``) are preferred,
+        the earliest-free one winning.  Systems without reconfigurable state
+        never claim a batch that way, so they fall back to a stable
+        home-shard hash of the workload key.  Either preference spills to
+        the earliest-free active shard once the preferred backlog exceeds
+        ``locality_spill_seconds``.
+        """
+        least_loaded = min(active, key=lambda i: (busy_until[i], i))
         if self.policy == POLICY_ROUND_ROBIN:
-            shard = self._rr_next
-            self._rr_next = (self._rr_next + 1) % self.num_shards
+            shard = active[self._rr_next % len(active)]
+            self._rr_next += 1
             return shard
         if self.policy == POLICY_LOCALITY:
-            home = _home_shard(batch, self.num_shards)
-            backlog = busy_until[home] - batch.ready_seconds
+            configured = [
+                i for i in active if self.shards[i].configured_for(batch.workload)
+            ]
+            if configured:
+                preferred = min(configured, key=lambda i: (busy_until[i], i))
+            else:
+                preferred = active[_home_shard(batch, len(active))]
+            backlog = busy_until[preferred] - batch.ready_seconds
             if backlog <= self.locality_spill_seconds:
-                return home
+                return preferred
             return least_loaded
         return least_loaded
 
+    def _dispatch(
+        self, batch: RequestBatch, state: _LoopState, active: Sequence[int]
+    ) -> float:
+        """Serve one closed batch on a shard; returns its finish time."""
+        shard_id = self._pick_shard(batch, state.busy_until, active)
+        start = max(batch.ready_seconds, state.busy_until[shard_id])
+        report = self.shards[shard_id].serve(batch.workload)
+        duration = report.total_seconds
+        finish = start + duration
+        state.busy_until[shard_id] = finish
+        state.busy_total[shard_id] += duration
+        state.shard_requests[shard_id] += len(batch)
+        state.num_batches += 1
+        state.last_finish = max(state.last_finish, finish)
+        for request in batch.requests:
+            state.served.append(
+                ServedRequest(
+                    request=request,
+                    shard_id=shard_id,
+                    batch_size=len(batch),
+                    batching_delay=batch.batching_delay(request),
+                    dispatch_delay=start - batch.ready_seconds,
+                    service_seconds=duration,
+                    report=report,
+                )
+            )
+        return finish
+
     # --------------------------------------------------------------- serving
-    def serve_trace(self, trace: RequestTrace) -> ClusterReport:
+    def serve_trace(
+        self, trace: RequestTrace, slo: Optional["SLOPolicy"] = None
+    ) -> ClusterReport:
         """Replay a trace through the cluster and merge the outcome.
 
         Event-driven and fully simulated: batches are dispatched in the
         order they close; a batch starts at ``max(ready, shard free)`` and
         occupies its shard for the batch's modelled end-to-end latency.
+        ``slo`` (an :class:`~repro.serving.control.SLOPolicy`) only scores
+        the run's goodput section; the offline path never sheds.
         """
         if not len(trace):
             raise ValueError("cannot serve an empty trace")
         self._rr_next = 0
         batches = self.scheduler.schedule(trace)
-        busy_until = [0.0] * self.num_shards
-        busy_total = [0.0] * self.num_shards
-        shard_requests = [0] * self.num_shards
-        served: List[ServedRequest] = []
-        last_finish = 0.0
+        state = _LoopState(self.num_shards)
+        active = range(self.num_shards)
         for batch in batches:
-            shard_id = self._pick_shard(batch, busy_until)
-            start = max(batch.ready_seconds, busy_until[shard_id])
-            report = self.shards[shard_id].serve(batch.workload)
-            duration = report.total_seconds
-            finish = start + duration
-            busy_until[shard_id] = finish
-            busy_total[shard_id] += duration
-            shard_requests[shard_id] += len(batch)
-            last_finish = max(last_finish, finish)
-            for request in batch.requests:
-                served.append(
-                    ServedRequest(
-                        request=request,
-                        shard_id=shard_id,
-                        batch_size=len(batch),
-                        batching_delay=batch.batching_delay(request),
-                        dispatch_delay=start - batch.ready_seconds,
-                        service_seconds=duration,
-                        report=report,
-                    )
-                )
+            self._dispatch(batch, state, active)
         first_arrival = trace[0].arrival_seconds
         return ClusterReport(
             system=self.system_name,
             policy=self.policy,
             num_shards=self.num_shards,
-            served=served,
-            num_batches=len(batches),
-            makespan_seconds=last_finish - first_arrival,
-            shard_busy_seconds=busy_total,
-            shard_requests=shard_requests,
+            served=state.served,
+            num_batches=state.num_batches,
+            makespan_seconds=state.last_finish - first_arrival,
+            shard_busy_seconds=state.busy_total,
+            shard_requests=state.shard_requests,
+            slo=slo,
+        )
+
+    def serve_online(
+        self,
+        source,
+        slo: Optional["SLOPolicy"] = None,
+        admission: Optional["AdmissionController"] = None,
+        autoscaler: Optional["Autoscaler"] = None,
+    ) -> ClusterReport:
+        """Drain an arrival source through the online co-simulated event loop.
+
+        ``source`` implements the arrival-source protocol (``peek_time`` /
+        ``pop`` / ``on_complete`` / ``on_shed``):
+        :class:`~repro.serving.requests.TraceArrivals` replays a fixed trace,
+        :class:`~repro.serving.requests.ClosedLoopClients` co-simulates a
+        client population fed by this loop's actual finish times.
+
+        The loop interleaves two event kinds in simulated-time order —
+        arrivals and batch-timeout deadlines (ties fire the deadline first,
+        matching the offline scheduler) — and batches close under the same
+        size-or-timeout policy as :class:`BatchScheduler`.  At every arrival
+        the control plane hooks run in order:
+
+        1. ``autoscaler.observe`` sees the queue depth — the arriving
+           request, requests in open batches, requests in flight, and
+           recently shed arrivals (shed demand within the autoscaler's
+           ``shed_memory_seconds`` still signals overload) — and may
+           activate a shard, which is then warm-up-penalised (bitstream
+           load) before it can start a batch, or drain one (it finishes its
+           backlog but receives nothing new).
+        2. ``admission.decide`` predicts the request's sojourn from the
+           least-loaded active shard's backlog plus the calibrated cost
+           estimate and sheds the request if the prediction violates its
+           SLO; sheds are reported back to the source immediately.
+
+        Completion times are committed at batch dispatch (the simulation is
+        deterministic, so the finish instant is known then) and fed to the
+        source, which is what lets closed-loop clients issue their next
+        request only after their previous one actually finished.
+        """
+        if autoscaler is not None and autoscaler.max_shards > self.num_shards:
+            raise ValueError(
+                f"autoscaler max_shards ({autoscaler.max_shards}) exceeds the "
+                f"cluster's shard count ({self.num_shards})"
+            )
+        self._rr_next = 0
+        state = _LoopState(self.num_shards)
+        open_members: Dict[object, List[InferenceRequest]] = {}
+        open_deadline: Dict[object, float] = {}
+        inflight: List[float] = []
+        shed_records: List[ShedRecord] = []
+        decisions: List[object] = []
+        # Estimated cost of requests admitted but not yet dispatched, so a
+        # same-instant arrival burst cannot all be admitted against the same
+        # (still-empty) shard backlog.
+        pending_estimates: Dict[int, float] = {}
+        # Arrival times of recent sheds: demand the autoscaler must still see.
+        recent_sheds: deque = deque()
+        active_count = self.num_shards
+        if autoscaler is not None:
+            first_peek = source.peek_time()
+            active_count = autoscaler.start(first_peek if first_peek is not None else 0.0)
+        first_arrival: Optional[float] = None
+
+        def close_batch(key: object, ready_seconds: float) -> None:
+            members = open_members.pop(key)
+            open_deadline.pop(key)
+            batch = RequestBatch(requests=members, ready_seconds=ready_seconds)
+            finish = self._dispatch(batch, state, range(active_count))
+            for request in members:
+                pending_estimates.pop(request.request_id, None)
+                heapq.heappush(inflight, finish)
+                source.on_complete(request, finish)
+
+        while True:
+            t_arrival = source.peek_time()
+            deadline_key = None
+            if open_deadline:
+                # Ties between expiring batches fire in (deadline, first
+                # request id) order, matching the offline scheduler's
+                # dispatch order.
+                deadline_key = min(
+                    open_deadline,
+                    key=lambda k: (open_deadline[k], open_members[k][0].request_id),
+                )
+            if deadline_key is not None and (
+                t_arrival is None or open_deadline[deadline_key] <= t_arrival
+            ):
+                close_batch(deadline_key, open_deadline[deadline_key])
+                continue
+            if t_arrival is None:
+                break
+            request = source.pop()
+            now = request.arrival_seconds
+            if first_arrival is None:
+                first_arrival = now
+            while inflight and inflight[0] <= now:
+                heapq.heappop(inflight)
+            if autoscaler is not None:
+                while recent_sheds and recent_sheds[0] < now - autoscaler.shed_memory_seconds:
+                    recent_sheds.popleft()
+                queue_depth = (
+                    1  # the arriving request itself
+                    + len(inflight)
+                    + sum(len(members) for members in open_members.values())
+                    + len(recent_sheds)
+                )
+                previous = active_count
+                active_count = autoscaler.observe(now, queue_depth)
+                for shard_id in range(previous, active_count):
+                    warmup = autoscaler.warmup_seconds
+                    if warmup is None:
+                        warmup = self.shards[shard_id].warmup_seconds
+                    state.busy_until[shard_id] = max(
+                        state.busy_until[shard_id], now + warmup
+                    )
+            if admission is not None:
+                # Backlog of the least-loaded active shard plus the admitted
+                # but undispatched work, spread across the active shards —
+                # the queue depth times the calibrated per-batch cost.
+                backlog = min(
+                    max(state.busy_until[i] - now, 0.0) for i in range(active_count)
+                ) + sum(pending_estimates.values()) / active_count
+                estimate = self.template.estimate_service_seconds(request.workload)
+                decision = admission.decide(request, now, backlog, estimate)
+                decisions.append(decision)
+                if decision.admitted:
+                    pending_estimates[request.request_id] = estimate
+                if not decision.admitted:
+                    shed_records.append(
+                        ShedRecord(
+                            request=request,
+                            shed_seconds=now,
+                            predicted_sojourn=decision.predicted_sojourn,
+                            slo_seconds=decision.slo_seconds,
+                        )
+                    )
+                    recent_sheds.append(now)
+                    source.on_shed(request, now)
+                    continue
+            key = request.workload.batch_key
+            if key not in open_members:
+                open_members[key] = []
+                open_deadline[key] = now + self.scheduler.max_wait_seconds
+            open_members[key].append(request)
+            if len(open_members[key]) >= self.scheduler.max_batch_size:
+                close_batch(key, now)
+
+        makespan = 0.0
+        if state.served and first_arrival is not None:
+            makespan = state.last_finish - first_arrival
+        return ClusterReport(
+            system=self.system_name,
+            policy=self.policy,
+            num_shards=self.num_shards,
+            served=state.served,
+            num_batches=state.num_batches,
+            makespan_seconds=makespan,
+            shard_busy_seconds=state.busy_total,
+            shard_requests=state.shard_requests,
+            shed=shed_records,
+            slo=slo,
+            decisions=decisions,
+            scaling_timeline=list(autoscaler.timeline()) if autoscaler is not None else [],
         )
 
     def serve_workloads(self, workloads: List[WorkloadProfile]) -> ClusterReport:

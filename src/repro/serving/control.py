@@ -1,0 +1,264 @@
+"""SLO-aware serving control plane: admission control and autoscaling.
+
+The control plane layers three deterministic policies on top of the sharded
+cluster's online event loop (:meth:`~repro.serving.cluster.ShardedServiceCluster.serve_online`):
+
+* :class:`SLOPolicy` — per-workload latency objectives (a default plus
+  per-workload-name overrides).
+* :class:`AdmissionController` — sheds a request at arrival when its
+  predicted sojourn (the chosen shard's queued backlog, i.e. queue depth
+  times the calibrated per-batch cost, plus the request's own estimated
+  service time) would violate the workload's SLO.  Every decision is
+  recorded, so the prediction invariant (admit ⇔ predicted ≤ SLO) is
+  testable after the fact.
+* :class:`Autoscaler` — grows or shrinks the active shard set from observed
+  queue depth with hysteresis (several consecutive breaches are required
+  before acting) and a warm-up penalty on newly activated shards (an AutoGNN
+  shard must program its bitstreams before it can serve).
+
+Everything here is pure simulated-time bookkeeping: no wall clock, no
+randomness, so controlled runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.system.workload import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Per-workload latency objectives in simulated seconds.
+
+    Attributes:
+        default_slo_seconds: objective applied to workloads without an override.
+        per_workload: overrides keyed by ``WorkloadProfile.name``.
+    """
+
+    default_slo_seconds: float
+    per_workload: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.default_slo_seconds <= 0:
+            raise ValueError("default_slo_seconds must be positive")
+        for name, slo in self.per_workload.items():
+            if slo <= 0:
+                raise ValueError(f"SLO for workload {name!r} must be positive")
+
+    def slo_for(self, workload: WorkloadProfile) -> float:
+        """The latency objective of ``workload``."""
+        return self.per_workload.get(workload.name, self.default_slo_seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (overrides sorted for byte stability)."""
+        return {
+            "default_slo_seconds": self.default_slo_seconds,
+            "per_workload": {k: self.per_workload[k] for k in sorted(self.per_workload)},
+        }
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admission-control verdict, recorded at request arrival.
+
+    Attributes:
+        request_id: the request the verdict applies to.
+        seconds: simulated arrival time at which the verdict was made.
+        predicted_sojourn: backlog + estimated service time at that instant.
+        slo_seconds: the workload's latency objective.
+        admitted: whether the request entered the cluster.
+    """
+
+    request_id: int
+    seconds: float
+    predicted_sojourn: float
+    slo_seconds: float
+    admitted: bool
+
+
+class AdmissionController:
+    """Predictive admission control against an :class:`SLOPolicy`.
+
+    A request is admitted iff its predicted sojourn — the backlog of the
+    least-loaded active shard (queue depth × calibrated per-batch cost, as
+    accumulated in the shard's busy horizon) plus the request's own
+    estimated service seconds — does not exceed its workload's SLO.  The
+    controller is stateless apart from the decision log.
+    """
+
+    def __init__(self, policy: SLOPolicy) -> None:
+        self.policy = policy
+        self.decisions: List[AdmissionDecision] = []
+
+    def decide(
+        self,
+        request,
+        now_seconds: float,
+        backlog_seconds: float,
+        service_estimate_seconds: float,
+    ) -> AdmissionDecision:
+        """Admit or shed ``request`` given the cluster's current backlog."""
+        predicted = max(backlog_seconds, 0.0) + max(service_estimate_seconds, 0.0)
+        slo = self.policy.slo_for(request.workload)
+        decision = AdmissionDecision(
+            request_id=request.request_id,
+            seconds=now_seconds,
+            predicted_sojourn=predicted,
+            slo_seconds=slo,
+            admitted=predicted <= slo,
+        )
+        self.decisions.append(decision)
+        return decision
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One autoscaler action on the active shard set.
+
+    Attributes:
+        seconds: simulated time of the action.
+        active_shards: shard count in effect from this instant.
+        reason: ``"init"``, ``"scale-up"`` or ``"scale-down"``.
+    """
+
+    seconds: float
+    active_shards: int
+    reason: str
+
+
+class Autoscaler:
+    """Queue-depth autoscaler with hysteresis and warm-up awareness.
+
+    The event loop reports the observed queue depth (requests waiting in
+    open batches plus requests in flight on the shards) at every arrival.
+    When the per-active-shard depth stays above ``scale_up_depth`` for
+    ``hysteresis_observations`` consecutive observations, one shard is
+    activated; when it stays below ``scale_down_depth`` for as many
+    observations, one is drained.  Depths inside the dead band reset both
+    streaks, which is what makes the shard count stable under constant load.
+
+    Args:
+        min_shards: lower bound of the active set (>= 1).
+        max_shards: upper bound of the active set (>= ``min_shards``).
+        scale_up_depth: per-shard queue depth that starts an up streak.
+        scale_down_depth: per-shard queue depth that starts a down streak
+            (must be strictly below ``scale_up_depth`` to form a dead band).
+        hysteresis_observations: consecutive breaches required to act.
+        warmup_seconds: warm-up charged to a newly activated shard; ``None``
+            defers to the shard's own ``warmup_seconds`` (bitstream load for
+            the AutoGNN variants, 0 for the software baselines).
+        shed_memory_seconds: how long a *shed* arrival keeps counting as
+            demand pressure in the queue-depth signal.  Without it, heavy
+            shedding hides overload from the autoscaler entirely (rejected
+            requests never enter the queue), and the cluster can wedge at
+            ``min_shards`` while shedding nearly everything.
+    """
+
+    def __init__(
+        self,
+        min_shards: int = 1,
+        max_shards: int = 8,
+        scale_up_depth: float = 4.0,
+        scale_down_depth: float = 1.0,
+        hysteresis_observations: int = 3,
+        warmup_seconds: Optional[float] = None,
+        shed_memory_seconds: float = 1.0,
+    ) -> None:
+        if min_shards < 1:
+            raise ValueError("min_shards must be >= 1")
+        if max_shards < min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if scale_down_depth < 0 or scale_up_depth <= scale_down_depth:
+            raise ValueError("need 0 <= scale_down_depth < scale_up_depth")
+        if hysteresis_observations < 1:
+            raise ValueError("hysteresis_observations must be >= 1")
+        if warmup_seconds is not None and warmup_seconds < 0:
+            raise ValueError("warmup_seconds must be non-negative")
+        if shed_memory_seconds < 0:
+            raise ValueError("shed_memory_seconds must be non-negative")
+        self.min_shards = min_shards
+        self.max_shards = max_shards
+        self.scale_up_depth = scale_up_depth
+        self.scale_down_depth = scale_down_depth
+        self.hysteresis_observations = hysteresis_observations
+        self.warmup_seconds = warmup_seconds
+        self.shed_memory_seconds = shed_memory_seconds
+        self.active = min_shards
+        self.events: List[ScalingEvent] = []
+        self._above = 0
+        self._below = 0
+
+    def start(self, now_seconds: float = 0.0) -> int:
+        """Reset to the initial active set and record the starting point."""
+        self.active = self.min_shards
+        self._above = 0
+        self._below = 0
+        self.events = [ScalingEvent(now_seconds, self.active, "init")]
+        return self.active
+
+    def observe(self, now_seconds: float, queue_depth: float) -> int:
+        """Feed one queue-depth observation; returns the new active count."""
+        per_shard = queue_depth / max(self.active, 1)
+        if per_shard > self.scale_up_depth:
+            self._above += 1
+            self._below = 0
+        elif per_shard < self.scale_down_depth:
+            self._below += 1
+            self._above = 0
+        else:
+            self._above = 0
+            self._below = 0
+        if self._above >= self.hysteresis_observations and self.active < self.max_shards:
+            self.active += 1
+            self._above = 0
+            self._below = 0
+            self.events.append(ScalingEvent(now_seconds, self.active, "scale-up"))
+        elif self._below >= self.hysteresis_observations and self.active > self.min_shards:
+            self.active -= 1
+            self._above = 0
+            self._below = 0
+            self.events.append(ScalingEvent(now_seconds, self.active, "scale-down"))
+        return self.active
+
+    def timeline(self) -> List[ScalingEvent]:
+        """The scaling history, oldest first."""
+        return list(self.events)
+
+
+class ServingController:
+    """Bundle an SLO, admission control and an autoscaler for one cluster.
+
+    Convenience facade over
+    :meth:`~repro.serving.cluster.ShardedServiceCluster.serve_online`: builds
+    the admission controller from the policy and wires everything into the
+    cluster's event loop.  ``slo=None`` disables shedding (the run is then
+    only scored against the SLO if one is given), ``autoscaler=None`` keeps
+    every shard active throughout.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        slo: Optional[SLOPolicy] = None,
+        autoscaler: Optional[Autoscaler] = None,
+    ) -> None:
+        if autoscaler is not None and autoscaler.max_shards > cluster.num_shards:
+            raise ValueError(
+                f"autoscaler max_shards ({autoscaler.max_shards}) exceeds the "
+                f"cluster's shard count ({cluster.num_shards})"
+            )
+        self.cluster = cluster
+        self.slo = slo
+        self.autoscaler = autoscaler
+        self.admission = AdmissionController(slo) if slo is not None else None
+
+    def serve(self, source):
+        """Drive ``source`` through the cluster under this control plane."""
+        return self.cluster.serve_online(
+            source,
+            slo=self.slo,
+            admission=self.admission,
+            autoscaler=self.autoscaler,
+        )

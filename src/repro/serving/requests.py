@@ -8,6 +8,12 @@ into a trace either open-loop (requests arrive at a fixed offered rate, no
 matter how the service keeps up) or closed-loop (a fixed client population
 issues the next request only after the previous one is estimated to finish).
 
+For the online event loop in :mod:`repro.serving.cluster` there are two
+arrival *sources*: :class:`TraceArrivals` replays a fixed trace, and
+:class:`ClosedLoopClients` co-simulates a client population whose next
+arrivals are fed by the cluster's actual finish (or shed) times rather than
+an estimate.
+
 All timestamps are simulated seconds; nothing in this module reads the wall
 clock, so traces are fully deterministic under a seed.
 """
@@ -98,6 +104,7 @@ class RequestQueue:
 
     def __init__(self, requests: Optional[Sequence[InferenceRequest]] = None) -> None:
         self._heap: List[tuple] = []
+        self._pushes = 0
         for request in requests or ():
             self.push(request)
 
@@ -108,8 +115,15 @@ class RequestQueue:
         return bool(self._heap)
 
     def push(self, request: InferenceRequest) -> None:
-        """Add a request (arrival timestamps need not be monotone)."""
-        heapq.heappush(self._heap, (request.arrival_seconds, request.request_id, request))
+        """Add a request (arrival timestamps need not be monotone).
+
+        Simultaneous arrivals (equal timestamps) pop in FIFO push order: the
+        tiebreaker is a per-queue push counter, never the request itself, so
+        duplicate ids or identical requests cannot raise a comparison error
+        and cannot reorder each other.
+        """
+        heapq.heappush(self._heap, (request.arrival_seconds, self._pushes, request))
+        self._pushes += 1
 
     def peek_arrival(self) -> Optional[float]:
         """Arrival time of the earliest pending request (None when empty)."""
@@ -242,3 +256,155 @@ class ClosedLoopArrivals:
             done_estimate = issue_at + max(estimate(workload), 0.0)
             heapq.heappush(clients, (done_estimate + self.think_seconds, client))
         return RequestTrace(requests)
+
+    def co_simulated(
+        self, max_requests: int, retry_backoff_seconds: float = 0.0
+    ) -> "ClosedLoopClients":
+        """A co-simulated client population with this generator's parameters.
+
+        Unlike :meth:`trace`, the returned source is driven by the cluster's
+        event loop: each client issues its next request only after the loop
+        reports the previous one *actually* finished (or was shed), so no
+        service-time estimate is involved.
+        """
+        return ClosedLoopClients(
+            workloads=self.workloads,
+            num_clients=self.num_clients,
+            think_seconds=self.think_seconds,
+            seed=self.seed,
+            max_requests=max_requests,
+            retry_backoff_seconds=retry_backoff_seconds,
+        )
+
+
+class TraceArrivals:
+    """Adapter that replays a fixed :class:`RequestTrace` as an online source.
+
+    Implements the arrival-source protocol of the cluster event loop
+    (:meth:`peek_time` / :meth:`pop` / :meth:`on_complete` / :meth:`on_shed`)
+    for open-loop traffic: completions and sheds do not influence future
+    arrivals.
+    """
+
+    def __init__(self, trace: RequestTrace) -> None:
+        self._requests = list(trace)
+        self._next = 0
+
+    @property
+    def num_issued(self) -> int:
+        """Requests handed to the event loop so far."""
+        return self._next
+
+    def peek_time(self) -> Optional[float]:
+        """Arrival time of the next request (None when the trace is drained)."""
+        if self._next >= len(self._requests):
+            return None
+        return self._requests[self._next].arrival_seconds
+
+    def pop(self) -> InferenceRequest:
+        """Hand the next request to the event loop."""
+        request = self._requests[self._next]
+        self._next += 1
+        return request
+
+    def on_complete(self, request: InferenceRequest, finish_seconds: float) -> None:
+        """Open-loop traffic ignores completions."""
+
+    def on_shed(self, request: InferenceRequest, shed_seconds: float) -> None:
+        """Open-loop traffic ignores sheds."""
+
+
+class ClosedLoopClients:
+    """Co-simulated closed-loop population driven by actual finish times.
+
+    ``num_clients`` clients each keep at most one request outstanding.  The
+    cluster event loop pops arrivals from this source and feeds real
+    completion times back via :meth:`on_complete`; the owning client then
+    thinks for ``think_seconds`` and issues its next request.  A shed request
+    completes immediately from the client's point of view (the reject comes
+    back at arrival time), so the client retries after the think time plus
+    ``retry_backoff_seconds`` — which is what makes overload self-sustaining
+    under load shedding.  With both zero, a persistently rejected client
+    re-arrives at the same simulated instant and burns the request budget in
+    place; give sheds a backoff when pairing this source with admission
+    control.
+
+    Fully deterministic: client wake-ups tie-break on client id and workload
+    picks come from one seeded generator in issue order.
+    """
+
+    def __init__(
+        self,
+        workloads: Sequence[WorkloadProfile],
+        num_clients: int,
+        think_seconds: float = 0.0,
+        seed: int = 0,
+        max_requests: int = 0,
+        retry_backoff_seconds: float = 0.0,
+    ) -> None:
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if think_seconds < 0:
+            raise ValueError("think_seconds must be non-negative")
+        if max_requests <= 0:
+            raise ValueError("max_requests must be positive")
+        if retry_backoff_seconds < 0:
+            raise ValueError("retry_backoff_seconds must be non-negative")
+        if not workloads:
+            raise ValueError("workload mix must be non-empty")
+        self.workloads = list(workloads)
+        self.num_clients = num_clients
+        self.think_seconds = think_seconds
+        self.max_requests = max_requests
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self._rng = np.random.default_rng(seed)
+        self._idle: List[tuple] = [(0.0, c) for c in range(num_clients)]
+        heapq.heapify(self._idle)
+        self._owner: dict = {}
+        self._issued = 0
+
+    @property
+    def num_issued(self) -> int:
+        """Requests handed to the event loop so far."""
+        return self._issued
+
+    @property
+    def num_outstanding(self) -> int:
+        """Issued requests the loop has not yet completed or shed."""
+        return len(self._owner)
+
+    def peek_time(self) -> Optional[float]:
+        """Issue time of the next client wake-up (None when budget exhausted)."""
+        if self._issued >= self.max_requests or not self._idle:
+            return None
+        return self._idle[0][0]
+
+    def pop(self) -> InferenceRequest:
+        """Issue the next request from the earliest-waking idle client."""
+        if self.peek_time() is None:
+            raise IndexError("pop from an exhausted ClosedLoopClients source")
+        issue_at, client = heapq.heappop(self._idle)
+        if len(self.workloads) == 1:
+            workload = self.workloads[0]
+        else:
+            workload = self.workloads[int(self._rng.integers(0, len(self.workloads)))]
+        request = InferenceRequest(
+            request_id=self._issued, arrival_seconds=issue_at, workload=workload
+        )
+        self._owner[request.request_id] = client
+        self._issued += 1
+        return request
+
+    def _rearm(self, request: InferenceRequest, at_seconds: float) -> None:
+        client = self._owner.pop(request.request_id, None)
+        if client is None:
+            return
+        heapq.heappush(self._idle, (at_seconds + self.think_seconds, client))
+
+    def on_complete(self, request: InferenceRequest, finish_seconds: float) -> None:
+        """The cluster finished ``request``; its client thinks, then re-issues."""
+        self._rearm(request, finish_seconds)
+
+    def on_shed(self, request: InferenceRequest, shed_seconds: float) -> None:
+        """The cluster shed ``request`` at arrival; its client retries later."""
+        self._rearm(request, shed_seconds + self.retry_backoff_seconds)

@@ -87,6 +87,39 @@ class PreprocessingSystem(ABC):
         clone.name = self.name
         return clone
 
+    # ----------------------------------------------------------- cost hints
+    def cost_hint(self, workload: WorkloadProfile) -> float:
+        """Side-effect-free estimate of one full pass (preprocessing + moves).
+
+        The serving control plane uses this to predict a request's sojourn
+        before admitting it, so the estimate must not mutate this instance:
+        the default evaluates a throwaway replica, which leaves stateful
+        systems (DynPre's reconfiguration history) untouched.  Stateless
+        systems may override with a direct evaluation.
+        """
+        return self.replicate().evaluate(workload).total
+
+    def configured_for(self, workload: WorkloadProfile) -> bool:
+        """Whether serving ``workload`` now would trigger no state change.
+
+        Reconfigurable systems report ``True`` when their currently loaded
+        bitstream pair already suits the workload (no reconfiguration would
+        fire); the locality dispatch policy prefers such shards.  Systems
+        without reconfigurable state return ``False`` so that hash-based
+        home-shard affinity stays in effect for them.
+        """
+        return False
+
+    @property
+    def warmup_seconds(self) -> float:
+        """Latency to bring a fresh shard of this system online.
+
+        The autoscaler charges this once when it activates a shard; systems
+        that must load a bitstream before serving (the AutoGNN variants)
+        override with the full-device reconfiguration latency.
+        """
+        return 0.0
+
     # ------------------------------------------------------------- niceties
     def preprocessing_latency(self, workload: WorkloadProfile) -> TaskLatencies:
         """Per-task preprocessing latencies only."""

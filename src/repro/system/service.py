@@ -82,6 +82,8 @@ class GNNService:
         if power_platform is None:
             power_platform = self._default_power_platform(preprocessing)
         self.power = PowerModel(preprocessing_platform=power_platform)
+        # Calibrated per-batch cost estimates, keyed by (batch_key, batch_size).
+        self._cost_cache: Dict[tuple, float] = {}
 
     @staticmethod
     def _default_power_platform(system: PreprocessingSystem) -> str:
@@ -116,6 +118,32 @@ class GNNService:
             system_latency=system_latency,
             energy=energy,
         )
+
+    def estimate_service_seconds(self, workload: WorkloadProfile) -> float:
+        """Calibrated end-to-end cost estimate of one pass, side-effect free.
+
+        The admission controller multiplies queue depth by this per-batch
+        cost to predict a request's sojourn before letting it in.  The
+        estimate is the preprocessing system's :meth:`cost_hint` (evaluated
+        on a throwaway replica, so stateful systems are not perturbed) plus
+        the modelled inference latency, memoized per batch-compatible
+        workload shape.
+        """
+        key = (workload.batch_key, workload.batch_size)
+        if key not in self._cost_cache:
+            self._cost_cache[key] = self.preprocessing.cost_hint(
+                workload
+            ) + self.inference_latency(workload)
+        return self._cost_cache[key]
+
+    def configured_for(self, workload: WorkloadProfile) -> bool:
+        """Whether this service's preprocessing state already suits ``workload``."""
+        return self.preprocessing.configured_for(workload)
+
+    @property
+    def warmup_seconds(self) -> float:
+        """Latency to bring a fresh shard of this service online (bitstream load)."""
+        return self.preprocessing.warmup_seconds
 
     def serve_many(self, workloads: List[WorkloadProfile]) -> List[ServiceReport]:
         """Model a sequence of passes over this service, in list order.

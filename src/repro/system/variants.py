@@ -39,7 +39,7 @@ from repro.core.kernels import (
     reshaping_cycle_estimate,
     selection_cycle_count,
 )
-from repro.core.reconfig import ReconfigurationController
+from repro.core.reconfig import FULL_RECONFIG_SECONDS, ReconfigurationController
 from repro.graph.coo import COOGraph
 from repro.graph.sampling import MODE_VECTORIZED, check_mode
 from repro.preprocessing.pipeline import PreprocessingConfig
@@ -242,6 +242,11 @@ class AutoGNNVariant(PreprocessingSystem):
     #: each other) or execute strictly serially.
     pipelined: bool = True
 
+    @property
+    def warmup_seconds(self) -> float:
+        """A fresh AutoGNN shard must program its initial bitstream pair."""
+        return FULL_RECONFIG_SECONDS
+
     def lut_utilization(self, workload: WorkloadProfile) -> float:
         """Time-averaged fraction of the reconfigurable region doing useful work.
 
@@ -353,6 +358,9 @@ class DynPreSystem(AutoGNNVariant):
         self.optimize_upe = optimize_upe
         self.reconfigure_threshold = reconfigure_threshold
         self.reconfig = ReconfigurationController(self.library, self.config)
+        # configured_for memo: the decision is pure given (config, workload),
+        # and the locality dispatch policy queries it per shard per batch.
+        self._configured_cache: Dict[tuple, bool] = {}
 
     def replicate(self) -> "DynPreSystem":
         """Fresh replica: shares the immutable bitstream library but carries
@@ -417,6 +425,33 @@ class DynPreSystem(AutoGNNVariant):
         ranked = self.cost_model.rank_configurations(params, self._candidate_configs())
         shortlist = [cfg for cfg, _ in ranked[:8]] + [self.config]
         return min(shortlist, key=lambda cfg: self._latency_with(cfg, workload))
+
+    def configured_for(self, workload: WorkloadProfile) -> bool:
+        """Whether evaluating ``workload`` now would keep the loaded bitstreams.
+
+        Mirrors :meth:`reconfigure_for`'s decision without mutating any state,
+        so the locality dispatch policy can rank shards by their current
+        reconfiguration state before committing a batch to one of them.
+        Memoized on (current configuration, workload shape): the underlying
+        candidate sweep is pure given those inputs.
+        """
+        cache_key = (self.config.key(), workload.batch_key, workload.batch_size)
+        cached = self._configured_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        current_latency = self._latency_with(self.config, workload)
+        if current_latency <= 0:
+            result = True
+        else:
+            best = self.choose_config(workload)
+            if best.key() == self.config.key():
+                result = True
+            else:
+                best_latency = self._latency_with(best, workload)
+                improvement = (current_latency - best_latency) / current_latency
+                result = improvement < self.reconfigure_threshold
+        self._configured_cache[cache_key] = result
+        return result
 
     def reconfigure_for(self, workload: WorkloadProfile) -> float:
         """Reconfigure if the predicted improvement clears the threshold.

@@ -1,15 +1,127 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Besides the graph/hardware fixtures, this module centralises the serving
+layer's test setup (workload profiles, traces, reference services/clusters)
+that used to be copy-pasted across ``test_serving.py`` and
+``test_serving_properties.py``, and registers the hypothesis profiles the
+CI pipeline selects with ``--hypothesis-profile=ci``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.config import HardwareConfig
 from repro.graph.coo import COOGraph
 from repro.graph.convert import coo_to_csc
 from repro.graph.generators import GraphSpec, power_law_graph
+from repro.serving import (
+    BatchScheduler,
+    InferenceRequest,
+    OpenLoopArrivals,
+    RequestTrace,
+    ShardedServiceCluster,
+)
+from repro.system.service import build_services
+from repro.system.workload import WorkloadProfile
+
+# --------------------------------------------------------- hypothesis profiles
+# "ci" is fully derandomized (fixed example seed) so hypothesis failures are
+# reproducible across CI runs; "dev" keeps random exploration locally.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
+# ------------------------------------------------------------ serving helpers
+def make_profile(name: str = "synth", batch_size: int = 100, **kwargs) -> WorkloadProfile:
+    """A small synthetic workload profile (kwargs override the defaults)."""
+    defaults = dict(num_nodes=50_000, num_edges=400_000, avg_degree=8.0)
+    defaults.update(kwargs)
+    return WorkloadProfile(name=name, batch_size=batch_size, **defaults)
+
+
+def zero_gap_trace(workloads) -> RequestTrace:
+    """All requests arriving at t = 0, ids in list order."""
+    return RequestTrace(
+        [
+            InferenceRequest(request_id=i, arrival_seconds=0.0, workload=w)
+            for i, w in enumerate(workloads)
+        ]
+    )
+
+
+#: Small pool of distinct serving workloads shared by the property suites.
+WORKLOAD_POOL = [
+    WorkloadProfile(name="wl-s", num_nodes=20_000, num_edges=150_000, avg_degree=7.5,
+                    batch_size=500),
+    WorkloadProfile(name="wl-m", num_nodes=80_000, num_edges=900_000, avg_degree=11.25,
+                    batch_size=1500),
+    WorkloadProfile(name="wl-u", num_nodes=40_000, num_edges=300_000, avg_degree=7.5,
+                    batch_size=800, update_fraction=0.2),
+]
+
+#: The seven compared systems' labels (static so strategies can sample them
+#: at collection time without building the services).
+SYSTEM_NAMES = ("AutoPre", "CPU", "DynPre", "FPGA", "GPU", "GSamp", "StatPre")
+
+
+@pytest.fixture(scope="session")
+def services():
+    """The seven reference GNN services, built once per test session.
+
+    Templates only: tests must ``replicate()`` (directly or through a
+    cluster) before mutating state, so examples never leak state into each
+    other.
+    """
+    return build_services()
+
+
+@pytest.fixture
+def serving_profile():
+    """Factory fixture for small synthetic workload profiles."""
+    return make_profile
+
+
+@pytest.fixture
+def small_trace() -> RequestTrace:
+    """A 10-request open-loop Poisson trace over two small workloads."""
+    return OpenLoopArrivals(
+        [make_profile("a"), make_profile("b")], rate_rps=100.0, seed=3
+    ).trace(10)
+
+
+@pytest.fixture
+def medium_trace() -> RequestTrace:
+    """A 60-request open-loop Poisson trace over the shared workload pool."""
+    return OpenLoopArrivals(WORKLOAD_POOL, rate_rps=300.0, seed=7).trace(60)
+
+
+@pytest.fixture
+def cluster_factory(services):
+    """Factory fixture: build a reference cluster for a named system.
+
+    Defaults to per-request batches (``max_batch_size=1``) like the cluster
+    itself; pass ``scheduler=BatchScheduler(...)`` to override.
+    """
+
+    def build(name: str, num_shards: int = 2, **kwargs) -> ShardedServiceCluster:
+        kwargs.setdefault("scheduler", BatchScheduler(max_batch_size=1))
+        return ShardedServiceCluster(services[name], num_shards=num_shards, **kwargs)
+
+    return build
+
+
+# ------------------------------------------------------------ graph fixtures
 @pytest.fixture
 def small_graph() -> COOGraph:
     """A small random graph exercised by most functional tests."""

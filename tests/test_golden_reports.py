@@ -1,0 +1,134 @@
+"""Golden-report regression tests for the serving event loops.
+
+One ``ClusterReport.as_dict()`` per dispatch policy (offline replay) plus one
+fully controlled closed-loop run are serialized to ``tests/golden/`` and
+asserted byte-stable across runs.  Any silent nondeterminism in the event
+loop — iteration over an unordered container, a changed tie-break, float
+reassociation — shows up here as a diff before it can corrupt benchmark
+comparisons.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/test_golden_reports.py --regen
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serving import (
+    Autoscaler,
+    BatchScheduler,
+    ClosedLoopClients,
+    DISPATCH_POLICIES,
+    OpenLoopArrivals,
+    ServingController,
+    ShardedServiceCluster,
+    SLOPolicy,
+)
+from repro.system.service import build_services
+from repro.system.workload import WorkloadProfile
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Fixed synthetic workload mix (independent of the dataset registry).
+GOLDEN_MIX = [
+    WorkloadProfile(name="gold-a", num_nodes=30_000, num_edges=240_000, avg_degree=8.0,
+                    batch_size=600),
+    WorkloadProfile(name="gold-b", num_nodes=90_000, num_edges=990_000, avg_degree=11.0,
+                    batch_size=1200),
+]
+
+
+def _scheduler() -> BatchScheduler:
+    return BatchScheduler(max_batch_size=3, max_wait_seconds=0.004)
+
+
+def _offline_report(services, policy: str):
+    trace = OpenLoopArrivals(GOLDEN_MIX, rate_rps=300.0, seed=13).trace(24)
+    cluster = ShardedServiceCluster(
+        services["StatPre"], num_shards=3, scheduler=_scheduler(), policy=policy,
+        locality_spill_seconds=0.05,
+    )
+    return cluster.serve_trace(trace)
+
+
+def _controlled_report(services):
+    cluster = ShardedServiceCluster(
+        services["DynPre"], num_shards=3, scheduler=_scheduler()
+    )
+    slo = SLOPolicy(default_slo_seconds=0.5, per_workload={"gold-b": 0.4})
+    scaler = Autoscaler(
+        min_shards=1, max_shards=3, scale_up_depth=2.0, scale_down_depth=0.5,
+        hysteresis_observations=2,
+    )
+    clients = ClosedLoopClients(
+        GOLDEN_MIX, num_clients=10, think_seconds=0.01, seed=21, max_requests=40,
+        retry_backoff_seconds=0.05,
+    )
+    return ServingController(cluster, slo=slo, autoscaler=scaler).serve(clients)
+
+
+def _render(report) -> str:
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"cluster_report_{name}.json"
+
+
+@pytest.fixture(scope="module")
+def golden_services():
+    return build_services()
+
+
+@pytest.mark.parametrize("policy", DISPATCH_POLICIES)
+def test_offline_report_matches_golden(golden_services, policy):
+    rendered = _render(_offline_report(golden_services, policy))
+    expected = _golden_path(policy).read_text()
+    assert rendered == expected, (
+        f"ClusterReport for policy {policy!r} drifted from its golden copy; "
+        "if the change is intentional, regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_reports.py --regen`"
+    )
+
+
+def test_controlled_report_matches_golden(golden_services):
+    rendered = _render(_controlled_report(golden_services))
+    expected = _golden_path("controlled").read_text()
+    assert rendered == expected
+
+
+@pytest.mark.parametrize("policy", DISPATCH_POLICIES)
+def test_offline_report_stable_across_runs(golden_services, policy):
+    """Two fresh clusters over the same trace render identically."""
+    assert _render(_offline_report(golden_services, policy)) == _render(
+        _offline_report(golden_services, policy)
+    )
+
+
+def test_controlled_report_stable_across_runs(golden_services):
+    assert _render(_controlled_report(golden_services)) == _render(
+        _controlled_report(golden_services)
+    )
+
+
+def regenerate_all() -> None:
+    """Rewrite every golden file from the current implementation."""
+    services = build_services()
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for policy in DISPATCH_POLICIES:
+        _golden_path(policy).write_text(_render(_offline_report(services, policy)))
+        print(f"wrote {_golden_path(policy)}")
+    _golden_path("controlled").write_text(_render(_controlled_report(services)))
+    print(f"wrote {_golden_path('controlled')}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate_all()
+    else:
+        sys.exit(pytest.main([__file__, "-q"]))

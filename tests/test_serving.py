@@ -1,8 +1,14 @@
-"""Tests for the serving layer: requests, batching and the sharded cluster."""
+"""Tests for the serving layer: requests, batching and the sharded cluster.
+
+Workload/trace/cluster setup shared with the property suites lives in
+``conftest.py`` (``make_profile``, ``zero_gap_trace``, the session-scoped
+``services`` fixture).
+"""
 
 import json
 
 import pytest
+from conftest import make_profile as profile, zero_gap_trace
 
 from repro.analysis.metrics import LatencyStats, percentile
 from repro.serving import (
@@ -17,28 +23,8 @@ from repro.serving import (
     ShardedServiceCluster,
     build_reference_clusters,
 )
-from repro.system.service import GNNService, build_reference_systems, build_services
+from repro.system.service import GNNService, build_reference_systems
 from repro.system.workload import WorkloadProfile
-
-
-def profile(name="synth", batch_size=100, **kwargs):
-    defaults = dict(num_nodes=50_000, num_edges=400_000, avg_degree=8.0)
-    defaults.update(kwargs)
-    return WorkloadProfile(name=name, batch_size=batch_size, **defaults)
-
-
-def zero_gap_trace(workloads):
-    return RequestTrace(
-        [
-            InferenceRequest(request_id=i, arrival_seconds=0.0, workload=w)
-            for i, w in enumerate(workloads)
-        ]
-    )
-
-
-@pytest.fixture(scope="module")
-def services():
-    return build_services()
 
 
 # ---------------------------------------------------------------- metrics
@@ -90,6 +76,33 @@ class TestRequestQueue:
         ready = queue.pop_ready(2.5)
         assert [r.request_id for r in ready] == [0, 1, 2]
         assert len(queue) == 2
+
+    def test_simultaneous_arrivals_pop_in_fifo_order(self):
+        # Regression: equal timestamps must preserve push (FIFO) order, even
+        # when request ids are not pushed in ascending order.
+        w = profile()
+        queue = RequestQueue()
+        for request_id in (5, 1, 3):
+            queue.push(InferenceRequest(request_id, 2.0, w))
+        queue.push(InferenceRequest(0, 1.0, w))
+        assert queue.peek_arrival() == 1.0
+        assert [queue.pop().request_id for _ in range(4)] == [0, 5, 1, 3]
+
+    def test_pop_ready_keeps_fifo_order_within_one_timestamp(self):
+        w = profile()
+        queue = RequestQueue()
+        for request_id in (2, 0, 1):
+            queue.push(InferenceRequest(request_id, 1.0, w))
+        assert [r.request_id for r in queue.pop_ready(1.0)] == [2, 0, 1]
+
+    def test_duplicate_ids_do_not_raise(self):
+        # Regression: the heap tiebreaker must never compare the (orderless)
+        # request objects themselves, even for identical (time, id) pairs.
+        w = profile()
+        queue = RequestQueue()
+        queue.push(InferenceRequest(7, 1.0, w))
+        queue.push(InferenceRequest(7, 1.0, w))
+        assert len(queue.pop_ready(1.0)) == 2
 
 
 class TestArrivals:

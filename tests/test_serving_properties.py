@@ -11,6 +11,7 @@
 """
 
 import pytest
+from conftest import SYSTEM_NAMES, WORKLOAD_POOL
 from hypothesis import given, settings, strategies as st
 
 from repro.serving import (
@@ -21,24 +22,6 @@ from repro.serving import (
     RequestTrace,
     ShardedServiceCluster,
 )
-from repro.system.service import build_services
-from repro.system.workload import WorkloadProfile
-
-#: All seven compared systems, built once; every example replicates fresh
-#: instances from these templates, so examples never share mutable state.
-SERVICES = build_services()
-
-SYSTEM_NAMES = sorted(SERVICES)
-
-#: Small pool of distinct workloads the generated sequences draw from.
-WORKLOAD_POOL = [
-    WorkloadProfile(name="wl-s", num_nodes=20_000, num_edges=150_000, avg_degree=7.5,
-                    batch_size=500),
-    WorkloadProfile(name="wl-m", num_nodes=80_000, num_edges=900_000, avg_degree=11.25,
-                    batch_size=1500),
-    WorkloadProfile(name="wl-u", num_nodes=40_000, num_edges=300_000, avg_degree=7.5,
-                    batch_size=800, update_fraction=0.2),
-]
 
 workload_lists = st.lists(
     st.sampled_from(WORKLOAD_POOL), min_size=1, max_size=6
@@ -48,7 +31,7 @@ workload_lists = st.lists(
 @settings(max_examples=20, deadline=None)
 @given(name=st.sampled_from(SYSTEM_NAMES), workloads=workload_lists,
        gap_ms=st.integers(min_value=0, max_value=50))
-def test_single_shard_batch_one_matches_serve_many(name, workloads, gap_ms):
+def test_single_shard_batch_one_matches_serve_many(services, name, workloads, gap_ms):
     """1 shard + batch size 1 == sequential serve_many, report-identical.
 
     Holds for stateful systems too (DynPre's reconfiguration history evolves
@@ -62,13 +45,13 @@ def test_single_shard_batch_one_matches_serve_many(name, workloads, gap_ms):
         ]
     )
     cluster = ShardedServiceCluster(
-        SERVICES[name],
+        services[name],
         num_shards=1,
         scheduler=BatchScheduler(max_batch_size=1),
         policy=POLICY_LEAST_LOADED,
     )
     cluster_reports = cluster.serve_trace(trace).service_reports()
-    sequential_reports = SERVICES[name].replicate().serve_many(workloads)
+    sequential_reports = services[name].replicate().serve_many(workloads)
     assert len(cluster_reports) == len(sequential_reports)
     for got, expected in zip(cluster_reports, sequential_reports):
         assert got == expected
@@ -81,7 +64,7 @@ def test_single_shard_batch_one_matches_serve_many(name, workloads, gap_ms):
     seed=st.integers(min_value=0, max_value=2**16),
     max_batch_size=st.integers(min_value=1, max_value=4),
 )
-def test_throughput_monotone_in_shard_count(num_requests, rate_rps, seed, max_batch_size):
+def test_throughput_monotone_in_shard_count(services, num_requests, rate_rps, seed, max_batch_size):
     """Adding shards never lowers throughput on a fixed trace.
 
     Uses the CPU system (stateless: each batch's service time is independent
@@ -94,7 +77,7 @@ def test_throughput_monotone_in_shard_count(num_requests, rate_rps, seed, max_ba
     previous = 0.0
     for num_shards in (1, 2, 3, 4, 6, 8):
         cluster = ShardedServiceCluster(
-            SERVICES["CPU"],
+            services["CPU"],
             num_shards=num_shards,
             scheduler=scheduler,
             policy=POLICY_LEAST_LOADED,
@@ -106,7 +89,7 @@ def test_throughput_monotone_in_shard_count(num_requests, rate_rps, seed, max_ba
 
 @settings(max_examples=10, deadline=None)
 @given(workloads=workload_lists)
-def test_batched_pass_preserves_request_count(workloads):
+def test_batched_pass_preserves_request_count(services, workloads):
     """Every request appears in exactly one batch and one served record."""
     trace = RequestTrace(
         [
@@ -115,7 +98,7 @@ def test_batched_pass_preserves_request_count(workloads):
         ]
     )
     cluster = ShardedServiceCluster(
-        SERVICES["StatPre"],
+        services["StatPre"],
         num_shards=2,
         scheduler=BatchScheduler(max_batch_size=3, max_wait_seconds=0.01),
     )
@@ -126,39 +109,39 @@ def test_batched_pass_preserves_request_count(workloads):
     assert sum(report.shard_requests) == len(workloads)
 
 
-def test_identity_holds_for_every_system_on_fixed_sequence():
+def test_identity_holds_for_every_system_on_fixed_sequence(services):
     """Deterministic cross-check of the identity contract for all seven."""
     workloads = [WORKLOAD_POOL[0], WORKLOAD_POOL[1], WORKLOAD_POOL[0], WORKLOAD_POOL[2]]
     for name in SYSTEM_NAMES:
         cluster = ShardedServiceCluster(
-            SERVICES[name], num_shards=1, scheduler=BatchScheduler(max_batch_size=1)
+            services[name], num_shards=1, scheduler=BatchScheduler(max_batch_size=1)
         )
         got = cluster.serve_workloads(workloads).service_reports()
-        expected = SERVICES[name].replicate().serve_many(workloads)
+        expected = services[name].replicate().serve_many(workloads)
         assert got == expected, f"identity violated for {name}"
 
 
-def test_monotonicity_gate_two_x_at_four_shards():
+def test_monotonicity_gate_two_x_at_four_shards(services):
     """The benchmark's acceptance gate in miniature: 4 shards >= 2x 1 shard."""
     trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=2000.0, seed=3).trace(64)
     scheduler = BatchScheduler(max_batch_size=4, max_wait_seconds=0.002)
 
     def throughput(num_shards):
         cluster = ShardedServiceCluster(
-            SERVICES["DynPre"], num_shards=num_shards, scheduler=scheduler
+            services["DynPre"], num_shards=num_shards, scheduler=scheduler
         )
         return cluster.serve_trace(trace).throughput_rps
 
     assert throughput(4) >= 2.0 * throughput(1)
 
 
-def test_monotonicity_tolerates_round_robin_smoke():
+def test_monotonicity_tolerates_round_robin_smoke(services):
     """Round-robin is not covered by the monotonicity proof; it must still
     serve every request and produce a positive throughput."""
     trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=500.0, seed=4).trace(20)
     for num_shards in (1, 3, 5):
         cluster = ShardedServiceCluster(
-            SERVICES["GSamp"],
+            services["GSamp"],
             num_shards=num_shards,
             scheduler=BatchScheduler(max_batch_size=2, max_wait_seconds=0.001),
             policy="round-robin",
