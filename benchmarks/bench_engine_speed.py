@@ -1,0 +1,223 @@
+"""Serving-engine speed benchmark: fast engine vs reference, same trace.
+
+Replays one fixed open-loop Poisson trace (the Table II PH/AX/MV mix) through
+two DynPre clusters that differ only in ``engine=`` — the pure-Python
+reference event loop vs the indexed/caching fast engine — and records the
+wall-clock of each ``serve_trace`` call per trace scale.  Both reports are
+asserted byte-identical before any timing is trusted: a fast engine that
+drifts from the reference is a bug, not a speedup.
+
+The acceptance gate — fast >= 5x reference on the 20k-request trace (quick
+mode: 5k requests, >= 3x) — is enforced by the exit code and the
+pytest-benchmark entry, so CI fails if the fast engine regresses.  A
+fast-engine-only 100k-request point (the "interactive speed" headline; the
+reference would take minutes there) is recorded without a gate.
+
+Results are written to ``BENCH_engine_speed.json`` at the repo root;
+``benchmarks/check_perf_regression.py`` compares fresh runs against the
+committed copy (speedup floor + machine-normalized wall-clock check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.serving import (
+    BatchScheduler,
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    OpenLoopArrivals,
+    POLICY_LEAST_LOADED,
+    ShardedServiceCluster,
+)
+from repro.system.service import build_services
+from repro.system.workload import WorkloadProfile
+
+#: Output path of the machine-readable results (repo root, tracked by PRs).
+RESULT_PATH = REPO_ROOT / "BENCH_engine_speed.json"
+
+#: Workload mix of the trace (same Table II mix as the other serving benches).
+TRACE_DATASETS = ("PH", "AX", "MV")
+
+#: Offered load of the open-loop trace (requests/second).
+OFFERED_RATE_RPS = 500.0
+
+#: Scheduler settings shared by both engines.
+MAX_BATCH_SIZE = 4
+MAX_WAIT_SECONDS = 0.005
+
+#: Shard count of both clusters.
+NUM_SHARDS = 4
+
+#: Gated trace scales: (num_requests, minimum fast-vs-reference speedup).
+GATED_SCALES = ((5_000, 3.0), (20_000, 5.0))
+
+#: Fast-engine-only showcase scale (no reference run, no gate).
+SHOWCASE_SCALE = 100_000
+
+SEED = 1
+
+PROVENANCE = (
+    "wall-clock seconds measured around ShardedServiceCluster.serve_trace on "
+    "this machine; simulated metrics are engine-independent (byte-identical "
+    "reports, asserted before timing). Regenerate with "
+    "`python benchmarks/bench_engine_speed.py`."
+)
+
+
+def _trace(num_requests: int):
+    mix = [WorkloadProfile.from_dataset(key) for key in TRACE_DATASETS]
+    trace = OpenLoopArrivals(mix, rate_rps=OFFERED_RATE_RPS, seed=SEED).trace(num_requests)
+    # Materialize the lazy request objects up front so the one-time cost is
+    # charged to neither timed serve (both engines then see identical input
+    # state, which the regression script's machine-factor normalization
+    # assumes).
+    trace.requests
+    return trace
+
+
+def _cluster(services, engine: str) -> ShardedServiceCluster:
+    return ShardedServiceCluster(
+        services["DynPre"],
+        num_shards=NUM_SHARDS,
+        scheduler=BatchScheduler(
+            max_batch_size=MAX_BATCH_SIZE, max_wait_seconds=MAX_WAIT_SECONDS
+        ),
+        policy=POLICY_LEAST_LOADED,
+        engine=engine,
+    )
+
+
+def _timed_serve(services, engine: str, trace):
+    cluster = _cluster(services, engine)
+    started = time.perf_counter()
+    report = cluster.serve_trace(trace)
+    elapsed = time.perf_counter() - started
+    return report, elapsed
+
+
+def run(quick: bool = False) -> Dict:
+    """Execute the benchmark and return (and persist) the result document."""
+    services = build_services()
+    results: List[Dict] = []
+    failures: List[str] = []
+
+    scales = GATED_SCALES[:1] if quick else GATED_SCALES
+    for num_requests, min_speedup in scales:
+        trace = _trace(num_requests)
+        reference_report, reference_seconds = _timed_serve(
+            services, ENGINE_REFERENCE, trace
+        )
+        fast_report, fast_seconds = _timed_serve(services, ENGINE_FAST, trace)
+        reference_rendered = json.dumps(reference_report.as_dict(), sort_keys=True)
+        fast_rendered = json.dumps(fast_report.as_dict(), sort_keys=True)
+        if reference_rendered != fast_rendered:
+            raise AssertionError(
+                f"engine divergence at {num_requests} requests: fast report is "
+                "not byte-identical to the reference report"
+            )
+        speedup = reference_seconds / max(fast_seconds, 1e-12)
+        results.append(
+            {
+                "scale": num_requests,
+                "reference_seconds": round(reference_seconds, 4),
+                "fast_seconds": round(fast_seconds, 4),
+                "speedup": round(speedup, 2),
+                "min_speedup": min_speedup,
+                "identical_reports": True,
+            }
+        )
+        verdict = "ok" if speedup >= min_speedup else "REGRESSION"
+        print(
+            f"{num_requests:>7} requests: reference {reference_seconds:7.2f}s | "
+            f"fast {fast_seconds:7.3f}s | {speedup:6.1f}x (gate >= {min_speedup:.0f}x) "
+            f"| {verdict}"
+        )
+        if speedup < min_speedup:
+            failures.append(
+                f"{num_requests} requests: {speedup:.1f}x below the {min_speedup:.0f}x gate"
+            )
+
+    showcase: Optional[Dict] = None
+    if not quick:
+        trace = _trace(SHOWCASE_SCALE)
+        report, fast_seconds = _timed_serve(services, ENGINE_FAST, trace)
+        showcase = {
+            "scale": SHOWCASE_SCALE,
+            "fast_seconds": round(fast_seconds, 4),
+            "throughput_rps": round(report.throughput_rps, 3),
+            "p99_seconds": round(report.latency.p99, 6),
+        }
+        print(
+            f"{SHOWCASE_SCALE:>7} requests: fast-only {fast_seconds:7.2f}s "
+            f"(reference skipped) | {report.throughput_rps:8.1f} simulated rps"
+        )
+
+    document = {
+        "benchmark": "engine_speed",
+        "_provenance": PROVENANCE,
+        "quick": bool(quick),
+        "trace": {
+            "datasets": list(TRACE_DATASETS),
+            "offered_rate_rps": OFFERED_RATE_RPS,
+            "process": "poisson",
+            "seed": SEED,
+        },
+        "cluster": {
+            "system": "DynPre",
+            "num_shards": NUM_SHARDS,
+            "policy": POLICY_LEAST_LOADED,
+            "max_batch_size": MAX_BATCH_SIZE,
+            "max_wait_seconds": MAX_WAIT_SECONDS,
+        },
+        "results": results,
+        "showcase_100k": showcase,
+        "wall_clock_seconds": round(
+            sum(entry["reference_seconds"] + entry["fast_seconds"] for entry in results)
+            + (showcase["fast_seconds"] if showcase else 0.0),
+            4,
+        ),
+    }
+    if failures:
+        document["failures"] = failures
+    RESULT_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"\nresults written to {RESULT_PATH}")
+    return document
+
+
+def test_engine_speed(benchmark):
+    """Pytest-benchmark entry point with the speedup acceptance gate."""
+    from common import run_once
+
+    document = run_once(benchmark, lambda: run(quick=True))
+    for entry in document["results"]:
+        assert entry["speedup"] >= entry["min_speedup"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="5k-request gate only, skip 20k and the 100k showcase (CI mode)",
+    )
+    args = parser.parse_args(argv)
+    document = run(quick=args.quick)
+    if document.get("failures"):
+        for failure in document["failures"]:
+            print(f"ENGINE SPEED REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,17 +1,28 @@
-"""Benchmark-regression gate for the preprocessing fast path.
+"""Benchmark-regression gates for the fast paths.
 
-Reads the committed ``BENCH_perf_preprocessing.json`` (the baseline the last
-PR recorded), runs a fresh ``--quick`` pass of
-``benchmarks/bench_perf_preprocessing.py``, and fails when the fresh
-vectorized/reference speedup at any shared scale drops below
-``tolerance * committed_speedup`` or below an absolute floor.  The relative
-tolerance absorbs CI-runner noise; the absolute floor catches a fast path
-that was quietly disabled altogether.
+Two committed-vs-fresh comparisons:
 
-The fresh run overwrites ``BENCH_perf_preprocessing.json`` on disk (CI
-uploads it as an artifact); the committed baseline is read into memory
-first, so the comparison is committed-vs-fresh.  Locally, restore the
-committed file with ``git checkout -- BENCH_perf_preprocessing.json``.
+* **Preprocessing** — reads the committed ``BENCH_perf_preprocessing.json``,
+  runs a fresh ``--quick`` pass of ``benchmarks/bench_perf_preprocessing.py``,
+  and fails when the fresh vectorized/reference speedup at any shared scale
+  drops below ``tolerance * committed_speedup`` or below an absolute floor.
+* **Serving engine** — reads the committed ``BENCH_engine_speed.json``, runs
+  a fresh ``--quick`` pass of ``benchmarks/bench_engine_speed.py``, and fails
+  when (a) the fresh fast/reference speedup drops below
+  ``tolerance * committed_speedup`` or the scale's own gate, or (b) the fast
+  engine's *wall-clock* regresses by more than ``--engine-wall-tolerance``
+  (default 20%) after normalizing out the machine: the reference engine runs
+  the identical simulation, so ``fresh_reference / committed_reference`` is
+  the machine-speed factor and the check is
+  ``fresh_fast <= tolerance * machine_factor * committed_fast``.
+
+Relative tolerances absorb CI-runner noise; the absolute floors catch a
+fast path that was quietly disabled altogether.
+
+The fresh runs overwrite the ``BENCH_*.json`` files on disk (CI uploads
+them as artifacts); the committed baselines are read into memory first, so
+each comparison is committed-vs-fresh.  Locally, restore the committed
+files with ``git checkout -- 'BENCH_*.json'``.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ for path in (str(_SRC), str(REPO_ROOT / "benchmarks")):
     if path not in sys.path:
         sys.path.insert(0, path)
 
+import bench_engine_speed
 import bench_perf_preprocessing
 
 #: Fresh speedup must reach this fraction of the committed speedup.
@@ -36,29 +48,12 @@ DEFAULT_TOLERANCE = 0.5
 #: ... and never fall below this absolute vectorized/reference ratio.
 DEFAULT_MIN_SPEEDUP = 5.0
 
+#: Engine-bench wall-clock budget: fresh fast-engine seconds may exceed the
+#: machine-normalized committed seconds by at most this factor (20%).
+DEFAULT_ENGINE_WALL_TOLERANCE = 1.2
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--baseline",
-        type=Path,
-        default=bench_perf_preprocessing.RESULT_PATH,
-        help="committed benchmark JSON to compare against",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=DEFAULT_TOLERANCE,
-        help="fresh speedup must be >= tolerance * committed speedup",
-    )
-    parser.add_argument(
-        "--min-speedup",
-        type=float,
-        default=DEFAULT_MIN_SPEEDUP,
-        help="absolute lower bound on the fresh speedup",
-    )
-    args = parser.parse_args(argv)
 
+def _check_preprocessing(args) -> List[str]:
     committed = json.loads(args.baseline.read_text())
     committed_by_scale = {
         entry["scale"]: entry["speedup"] for entry in committed["results"]
@@ -87,16 +82,107 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         if entry["speedup"] < floor:
             failures.append(
-                f"{scale}: fresh speedup {entry['speedup']:.2f}x below floor {floor:.2f}x "
-                f"(committed {baseline_speedup:.2f}x, tolerance {args.tolerance})"
+                f"preprocessing {scale}: fresh speedup {entry['speedup']:.2f}x below "
+                f"floor {floor:.2f}x (committed {baseline_speedup:.2f}x, "
+                f"tolerance {args.tolerance})"
             )
+    return failures
+
+
+def _check_engine(args) -> List[str]:
+    if not args.engine_baseline.exists():
+        # Fail loudly, like the preprocessing gate's FileNotFoundError: a
+        # missing baseline must not silently disable the engine check.
+        return [
+            f"engine: committed baseline {args.engine_baseline} is missing — "
+            "regenerate with `python benchmarks/bench_engine_speed.py` and commit it"
+        ]
+    committed = json.loads(args.engine_baseline.read_text())
+    committed_by_scale = {entry["scale"]: entry for entry in committed["results"]}
+
+    print("\nrunning fresh --quick serving-engine benchmark...\n")
+    fresh = bench_engine_speed.run(quick=True)
+
+    failures: List[str] = []
+    for entry in fresh["results"]:
+        scale = entry["scale"]
+        baseline = committed_by_scale.get(scale)
+        if baseline is None:
+            continue
+        # Speedup floor: relative to the committed ratio, never below the
+        # scale's own absolute gate (machine-independent).
+        floor = max(args.tolerance * baseline["speedup"], entry["min_speedup"])
+        speedup_ok = entry["speedup"] >= floor
+        # Wall-clock: normalize out the machine via the reference engine
+        # (same simulation, same Python), then flag a >20% fast regression.
+        machine_factor = entry["reference_seconds"] / max(
+            baseline["reference_seconds"], 1e-12
+        )
+        wall_budget = args.engine_wall_tolerance * machine_factor * baseline["fast_seconds"]
+        wall_ok = entry["fast_seconds"] <= wall_budget
+        verdict = "ok" if (speedup_ok and wall_ok) else "REGRESSION"
+        print(
+            f"{scale:>7}: committed {baseline['speedup']:6.2f}x | "
+            f"fresh {entry['speedup']:6.2f}x | floor {floor:6.2f}x | "
+            f"fast {entry['fast_seconds']:6.3f}s (budget {wall_budget:6.3f}s) | {verdict}"
+        )
+        if not speedup_ok:
+            failures.append(
+                f"engine {scale}: fresh speedup {entry['speedup']:.2f}x below "
+                f"floor {floor:.2f}x (committed {baseline['speedup']:.2f}x)"
+            )
+        if not wall_ok:
+            failures.append(
+                f"engine {scale}: fast wall-clock {entry['fast_seconds']:.3f}s exceeds "
+                f"{args.engine_wall_tolerance:.0%} of the machine-normalized committed "
+                f"{baseline['fast_seconds']:.3f}s (budget {wall_budget:.3f}s)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=bench_perf_preprocessing.RESULT_PATH,
+        help="committed preprocessing benchmark JSON to compare against",
+    )
+    parser.add_argument(
+        "--engine-baseline",
+        type=Path,
+        default=bench_engine_speed.RESULT_PATH,
+        help="committed serving-engine benchmark JSON to compare against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="fresh speedup must be >= tolerance * committed speedup",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="absolute lower bound on the fresh preprocessing speedup",
+    )
+    parser.add_argument(
+        "--engine-wall-tolerance",
+        type=float,
+        default=DEFAULT_ENGINE_WALL_TOLERANCE,
+        help="allowed machine-normalized fast-engine wall-clock growth factor",
+    )
+    args = parser.parse_args(argv)
+
+    failures = _check_preprocessing(args)
+    failures += _check_engine(args)
 
     if failures:
         print("\nPERF REGRESSION DETECTED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print("\nno perf regression: fast-path speedup holds within tolerance")
+    print("\nno perf regression: fast-path speedups and wall-clock hold within tolerance")
     return 0
 
 

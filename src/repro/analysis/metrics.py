@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence
 
@@ -101,16 +102,15 @@ class EndToEndLatency:
         return out
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated ``q``-th percentile of ``values`` (0 when empty).
+def _percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated ``q``-th percentile of an already-sorted sequence.
 
-    Matches ``numpy.percentile``'s default (linear) method; implemented on
-    plain sequences so small report aggregations skip array round trips and
-    this module keeps its no-import policy.
+    Shared by :func:`percentile` and the streaming accumulator's exact
+    report-time path, so both produce bit-identical values from the same
+    sample multiset.
     """
     if not 0 <= q <= 100:
         raise ValueError("q must be within [0, 100]")
-    ordered = sorted(values)
     if not ordered:
         return 0.0
     if len(ordered) == 1:
@@ -122,6 +122,18 @@ def percentile(values: Sequence[float], q: float) -> float:
         return float(ordered[lower])
     weight = rank - lower
     return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated ``q``-th percentile of ``values`` (0 when empty).
+
+    Matches ``numpy.percentile``'s default (linear) method; implemented on
+    plain sequences so small report aggregations skip array round trips and
+    this module keeps its no-import policy.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    return _percentile_sorted(sorted(values), q)
 
 
 @dataclass
@@ -149,13 +161,14 @@ class LatencyStats:
         """Compute the summary of a (possibly empty) latency sample."""
         if not samples:
             return cls()
+        ordered = sorted(samples)
         return cls(
             count=len(samples),
             mean=sum(samples) / len(samples),
-            p50=percentile(samples, 50),
-            p95=percentile(samples, 95),
-            p99=percentile(samples, 99),
-            max=float(max(samples)),
+            p50=_percentile_sorted(ordered, 50),
+            p95=_percentile_sorted(ordered, 95),
+            p99=_percentile_sorted(ordered, 99),
+            max=float(ordered[-1]),
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -168,6 +181,166 @@ class LatencyStats:
             "p99": self.p99,
             "max": self.max,
         }
+
+
+class P2Quantile:
+    """Single-pass quantile estimate (Jain & Chlamtac's P² algorithm).
+
+    Maintains five markers in O(1) memory and time per observation — the
+    serving fast engine uses it to expose live percentile estimates while a
+    run is in flight, without holding the sample.  Report-time numbers never
+    come from here: :class:`StreamingLatencyStats` falls back to the exact
+    sorted-sample computation at report boundaries.
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments")
+
+    def __init__(self, q: float) -> None:
+        if not 0 < q < 100:
+            raise ValueError("q must be within (0, 100)")
+        self.q = q
+        p = q / 100.0
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def push(self, sample: float) -> None:
+        """Feed one observation into the marker state."""
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(sample)
+            heights.sort()
+            return
+        if sample < heights[0]:
+            heights[0] = sample
+            cell = 0
+        elif sample >= heights[4]:
+            heights[4] = sample
+            cell = 3
+        else:
+            cell = 0
+            while sample >= heights[cell + 1]:
+                cell += 1
+        positions = self._positions
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        heights, positions = self._heights, self._positions
+        return heights[i] + step / (positions[i + 1] - positions[i - 1]) * (
+            (positions[i] - positions[i - 1] + step)
+            * (heights[i + 1] - heights[i])
+            / (positions[i + 1] - positions[i])
+            + (positions[i + 1] - positions[i] - step)
+            * (heights[i] - heights[i - 1])
+            / (positions[i] - positions[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        heights, positions = self._heights, self._positions
+        j = i + int(step)
+        return heights[i] + step * (heights[j] - heights[i]) / (positions[j] - positions[i])
+
+    def estimate(self) -> float:
+        """Current quantile estimate (exact while fewer than five samples)."""
+        if not self._heights:
+            return 0.0
+        if len(self._heights) < 5:
+            return _percentile_sorted(self._heights, self.q)
+        return float(self._heights[2])
+
+
+class StreamingLatencyStats:
+    """Single-pass latency accumulator with an exact report-time summary.
+
+    The serving fast engine pushes one sojourn per served request instead of
+    collecting them in a Python list of boxed floats: the sample is kept in a
+    compact ``array('d')`` buffer (8 bytes/sample), the mean is accumulated
+    running in push order (bit-identical to ``sum(list)`` over the same
+    order), and P² markers provide O(1) *approximate* percentiles while the
+    run is in flight.  :meth:`stats` sorts the buffer once and produces a
+    :class:`LatencyStats` that is bit-identical to
+    ``LatencyStats.from_samples`` on the same push sequence — the exact
+    fallback that report boundaries (and the golden-report byte-stability
+    tests) rely on.
+    """
+
+    __slots__ = ("_samples", "_sum", "_p2")
+
+    #: Percentiles tracked by the live P² estimators.
+    APPROX_QUANTILES = (50.0, 95.0, 99.0)
+
+    def __init__(self, track_approx: bool = True) -> None:
+        self._samples = array("d")
+        self._sum = 0.0
+        # track_approx=False skips the per-push P² marker updates for hot
+        # paths that only need the exact report-time summary (the serving
+        # fast engine); approx_percentile then raises.
+        self._p2 = (
+            {q: P2Quantile(q) for q in self.APPROX_QUANTILES} if track_approx else {}
+        )
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        """Samples pushed so far."""
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        """Running sum of all pushed samples (push order)."""
+        return self._sum
+
+    def push(self, sample: float) -> None:
+        """Accumulate one latency sample."""
+        self._samples.append(sample)
+        self._sum += sample
+        if self._p2:
+            for marker in self._p2.values():
+                marker.push(sample)
+
+    def approx_percentile(self, q: float) -> float:
+        """Live P² estimate for one of :data:`APPROX_QUANTILES` (O(1)).
+
+        Raises ``KeyError`` for untracked quantiles, including every
+        quantile when the accumulator was built with ``track_approx=False``.
+        """
+        if q not in self._p2:
+            raise KeyError(
+                f"no live estimator for q={q}; tracked: {tuple(self._p2)}"
+            )
+        return self._p2[q].estimate()
+
+    def stats(self) -> LatencyStats:
+        """Exact summary — bit-identical to ``LatencyStats.from_samples``."""
+        if not self._samples:
+            return LatencyStats()
+        ordered = sorted(self._samples)
+        return LatencyStats(
+            count=len(self._samples),
+            mean=self._sum / len(self._samples),
+            p50=_percentile_sorted(ordered, 50),
+            p95=_percentile_sorted(ordered, 95),
+            p99=_percentile_sorted(ordered, 99),
+            max=float(ordered[-1]),
+        )
 
 
 @dataclass

@@ -16,6 +16,11 @@ traffic regime:
 * :mod:`repro.serving.control` — the SLO-aware control plane: per-workload
   latency objectives, predictive admission control / load shedding and a
   hysteresis queue-depth autoscaler with bitstream warm-up penalties.
+* :mod:`repro.serving.engine` — the fast serving engine behind
+  ``ShardedServiceCluster(engine="fast")`` (the default): serve-transition
+  caching, array-level batch formation, shard/deadline heaps and streaming
+  report aggregates, byte-identical to the reference loops and >= 5x
+  faster on 20k-request traces (100k requests in seconds).
 """
 
 from repro.serving.requests import (
@@ -25,15 +30,20 @@ from repro.serving.requests import (
     OpenLoopArrivals,
     RequestQueue,
     RequestTrace,
+    TraceArrays,
     TraceArrivals,
 )
 from repro.serving.scheduler import BatchScheduler, RequestBatch
 from repro.serving.cluster import (
     DISPATCH_POLICIES,
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    ENGINES,
     POLICY_LEAST_LOADED,
     POLICY_LOCALITY,
     POLICY_ROUND_ROBIN,
     ClusterReport,
+    ReportAggregates,
     ServedRequest,
     ShardedServiceCluster,
     ShedRecord,
@@ -51,6 +61,7 @@ from repro.serving.control import (
 __all__ = [
     "InferenceRequest",
     "RequestTrace",
+    "TraceArrays",
     "RequestQueue",
     "OpenLoopArrivals",
     "ClosedLoopArrivals",
@@ -62,8 +73,12 @@ __all__ = [
     "ServedRequest",
     "ShedRecord",
     "ClusterReport",
+    "ReportAggregates",
     "build_reference_clusters",
     "DISPATCH_POLICIES",
+    "ENGINES",
+    "ENGINE_REFERENCE",
+    "ENGINE_FAST",
     "POLICY_ROUND_ROBIN",
     "POLICY_LEAST_LOADED",
     "POLICY_LOCALITY",

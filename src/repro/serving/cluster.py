@@ -64,6 +64,15 @@ POLICY_LEAST_LOADED = "least-loaded"
 POLICY_LOCALITY = "locality"
 DISPATCH_POLICIES = (POLICY_ROUND_ROBIN, POLICY_LEAST_LOADED, POLICY_LOCALITY)
 
+#: Serving engines: the reference per-request-object event loops below, or
+#: the indexed/caching fast engine in :mod:`repro.serving.engine`.  Both
+#: produce byte-identical :class:`ClusterReport` content (golden- and
+#: property-test enforced); the fast engine is the default because it is the
+#: one that reaches 100k-request traces at interactive speed.
+ENGINE_REFERENCE = "reference"
+ENGINE_FAST = "fast"
+ENGINES = (ENGINE_REFERENCE, ENGINE_FAST)
+
 
 @dataclass
 class ServedRequest:
@@ -116,6 +125,38 @@ class ShedRecord:
 
 
 @dataclass
+class ReportAggregates:
+    """Streaming-accumulated aggregates of one serving run.
+
+    The fast engine folds every served request into these totals as it
+    dispatches (see :class:`~repro.analysis.metrics.StreamingLatencyStats`),
+    in the exact accumulation order the reference report properties use, so
+    a :class:`ClusterReport` carrying aggregates renders byte-identically to
+    one that re-derives them from the per-request records — and can drop
+    those records entirely (:meth:`ClusterReport.compact`) at 100k-request
+    scale.
+
+    Attributes:
+        count: requests served.
+        shed_count: requests rejected at admission.
+        latency: exact sojourn-time summary (push order = served order).
+        batching_sum: total batching delay over served requests.
+        dispatch_sum: total dispatch delay over served requests.
+        service_sum: total service time over served requests.
+        slo_met: served requests whose sojourn met their SLO (equals
+            ``count`` when the run had no SLO).
+    """
+
+    count: int
+    shed_count: int
+    latency: LatencyStats
+    batching_sum: float
+    dispatch_sum: float
+    service_sum: float
+    slo_met: int
+
+
+@dataclass
 class ClusterReport:
     """Merged outcome of serving one trace on a sharded cluster.
 
@@ -132,6 +173,10 @@ class ClusterReport:
         slo: the SLO policy the run was scored against, or None.
         decisions: admission decisions in arrival order (controlled runs).
         scaling_timeline: autoscaler events of the run.
+        aggregates: streaming-accumulated totals (fast engine only); when
+            present the summary properties read them instead of re-deriving
+            from the per-request records, and :meth:`compact` may drop the
+            records.
     """
 
     system: str
@@ -146,17 +191,41 @@ class ClusterReport:
     slo: Optional["SLOPolicy"] = None
     decisions: List["AdmissionDecision"] = field(default_factory=list)
     scaling_timeline: List["ScalingEvent"] = field(default_factory=list)
+    aggregates: Optional[ReportAggregates] = field(default=None, repr=False)
 
     # ------------------------------------------------------------ aggregates
     @property
     def num_requests(self) -> int:
         """Requests served."""
+        if self.aggregates is not None:
+            return self.aggregates.count
         return len(self.served)
 
     @property
     def num_shed(self) -> int:
         """Requests rejected at admission."""
+        if self.aggregates is not None:
+            return self.aggregates.shed_count
         return len(self.shed)
+
+    def compact(self) -> "ClusterReport":
+        """Drop the per-request records, keeping every summary aggregate.
+
+        Only available on reports that carry :attr:`aggregates` (fast-engine
+        runs).  ``as_dict`` and every summary property render identically
+        afterwards; per-request accessors (``served``, ``shed``,
+        ``decisions``, :meth:`service_reports`) come back empty.  At
+        100k-request scale this is the difference between a report and a
+        memory hog.  Returns ``self`` for chaining.
+        """
+        if self.aggregates is None:
+            raise ValueError(
+                "compact() requires streaming aggregates (fast-engine reports only)"
+            )
+        self.served = []
+        self.shed = []
+        self.decisions = []
+        return self
 
     @property
     def num_offered(self) -> int:
@@ -180,6 +249,8 @@ class ClusterReport:
         """
         if self.slo is None:
             slo_met = self.num_requests
+        elif self.aggregates is not None:
+            slo_met = self.aggregates.slo_met
         else:
             slo_met = sum(
                 1
@@ -212,12 +283,20 @@ class ClusterReport:
     @property
     def latency(self) -> LatencyStats:
         """Distribution of per-request sojourn times."""
+        if self.aggregates is not None:
+            return self.aggregates.latency
         return LatencyStats.from_samples([s.sojourn_seconds for s in self.served])
 
     @property
     def queueing_decomposition(self) -> Dict[str, float]:
         """Mean per-request sojourn split into batching/dispatch/service."""
         n = max(self.num_requests, 1)
+        if self.aggregates is not None:
+            return {
+                "batching": self.aggregates.batching_sum / n,
+                "dispatch": self.aggregates.dispatch_sum / n,
+                "service": self.aggregates.service_sum / n,
+            }
         return {
             "batching": sum(s.batching_delay for s in self.served) / n,
             "dispatch": sum(s.dispatch_delay for s in self.served) / n,
@@ -303,6 +382,11 @@ class ShardedServiceCluster:
             from its preferred shard to the earliest-free shard when the
             preferred backlog exceeds this many seconds (``inf`` pins
             strictly).
+        engine: one of :data:`ENGINES` — ``"fast"`` (default) runs the
+            indexed event-heap engine with serve-transition caching from
+            :mod:`repro.serving.engine`; ``"reference"`` runs the plain
+            per-request-object loops in this module.  Outputs are
+            byte-identical; only wall-clock differs.
     """
 
     def __init__(
@@ -312,6 +396,7 @@ class ShardedServiceCluster:
         scheduler: Optional[BatchScheduler] = None,
         policy: str = POLICY_LEAST_LOADED,
         locality_spill_seconds: float = float("inf"),
+        engine: str = ENGINE_FAST,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -321,12 +406,21 @@ class ShardedServiceCluster:
             )
         if locality_spill_seconds < 0:
             raise ValueError("locality_spill_seconds must be non-negative")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown serving engine {engine!r}; expected one of {ENGINES}"
+            )
         self.template = service
         self.shards: List[GNNService] = [service.replicate() for _ in range(num_shards)]
         self.scheduler = scheduler or BatchScheduler(max_batch_size=1)
         self.policy = policy
         self.locality_spill_seconds = locality_spill_seconds
+        self.engine = engine
         self._rr_next = 0
+        # Serve-transition cache shared by every fast-engine run on this
+        # cluster: the shards are replicas of one template, so a transition
+        # observed on one shard replays soundly on any other.
+        self._serve_cache: Dict[tuple, tuple] = {}
 
     @property
     def num_shards(self) -> int:
@@ -417,6 +511,10 @@ class ShardedServiceCluster:
         """
         if not len(trace):
             raise ValueError("cannot serve an empty trace")
+        if self.engine == ENGINE_FAST:
+            from repro.serving.engine import serve_trace_fast
+
+            return serve_trace_fast(self, trace, slo)
         self._rr_next = 0
         batches = self.scheduler.schedule(trace)
         state = _LoopState(self.num_shards)
@@ -479,6 +577,10 @@ class ShardedServiceCluster:
                 f"autoscaler max_shards ({autoscaler.max_shards}) exceeds the "
                 f"cluster's shard count ({self.num_shards})"
             )
+        if self.engine == ENGINE_FAST:
+            from repro.serving.engine import serve_online_fast
+
+            return serve_online_fast(self, source, slo, admission, autoscaler)
         self._rr_next = 0
         state = _LoopState(self.num_shards)
         open_members: Dict[object, List[InferenceRequest]] = {}
@@ -559,7 +661,8 @@ class ShardedServiceCluster:
                 ) + sum(pending_estimates.values()) / active_count
                 estimate = self.template.estimate_service_seconds(request.workload)
                 decision = admission.decide(request, now, backlog, estimate)
-                decisions.append(decision)
+                if admission.record_decisions:
+                    decisions.append(decision)
                 if decision.admitted:
                     pending_estimates[request.request_id] = estimate
                 if not decision.admitted:
@@ -614,6 +717,7 @@ def build_reference_clusters(
     scheduler: Optional[BatchScheduler] = None,
     policy: str = POLICY_LEAST_LOADED,
     tuning_workload: Optional[WorkloadProfile] = None,
+    engine: str = ENGINE_FAST,
 ) -> Dict[str, ShardedServiceCluster]:
     """Sharded clusters for all seven compared systems of Fig. 18.
 
@@ -623,7 +727,11 @@ def build_reference_clusters(
     """
     return {
         name: ShardedServiceCluster(
-            service, num_shards=num_shards, scheduler=scheduler, policy=policy
+            service,
+            num_shards=num_shards,
+            scheduler=scheduler,
+            policy=policy,
+            engine=engine,
         )
         for name, service in build_services(tuning_workload).items()
     }

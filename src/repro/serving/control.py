@@ -17,7 +17,13 @@ cluster's online event loop (:meth:`~repro.serving.cluster.ShardedServiceCluster
   shard must program its bitstreams before it can serve).
 
 Everything here is pure simulated-time bookkeeping: no wall clock, no
-randomness, so controlled runs are exactly reproducible.
+randomness, so controlled runs are exactly reproducible.  The policies are
+engine-agnostic: both the reference event loop and the fast engine
+(:mod:`repro.serving.engine`) drive the same controller objects with the
+same observation sequences, which is what keeps controlled runs
+byte-identical across engines.  For 100k-request runs the per-decision log
+can be disabled (``AdmissionController(record_decisions=False)``) — the
+verdicts themselves are unaffected.
 """
 
 from __future__ import annotations
@@ -85,11 +91,16 @@ class AdmissionController:
     least-loaded active shard (queue depth × calibrated per-batch cost, as
     accumulated in the shard's busy horizon) plus the request's own
     estimated service seconds — does not exceed its workload's SLO.  The
-    controller is stateless apart from the decision log.
+    controller is stateless apart from the decision log, which
+    ``record_decisions=False`` disables for memory-bounded 100k-request
+    runs — both the controller's log and the serving loops'
+    ``ClusterReport.decisions`` honour the flag (verdicts are unchanged;
+    only the logs are skipped).
     """
 
-    def __init__(self, policy: SLOPolicy) -> None:
+    def __init__(self, policy: SLOPolicy, record_decisions: bool = True) -> None:
         self.policy = policy
+        self.record_decisions = record_decisions
         self.decisions: List[AdmissionDecision] = []
 
     def decide(
@@ -109,7 +120,8 @@ class AdmissionController:
             slo_seconds=slo,
             admitted=predicted <= slo,
         )
-        self.decisions.append(decision)
+        if self.record_decisions:
+            self.decisions.append(decision)
         return decision
 
 
@@ -243,6 +255,7 @@ class ServingController:
         cluster,
         slo: Optional[SLOPolicy] = None,
         autoscaler: Optional[Autoscaler] = None,
+        record_decisions: bool = True,
     ) -> None:
         if autoscaler is not None and autoscaler.max_shards > cluster.num_shards:
             raise ValueError(
@@ -252,7 +265,11 @@ class ServingController:
         self.cluster = cluster
         self.slo = slo
         self.autoscaler = autoscaler
-        self.admission = AdmissionController(slo) if slo is not None else None
+        self.admission = (
+            AdmissionController(slo, record_decisions=record_decisions)
+            if slo is not None
+            else None
+        )
 
     def serve(self, source):
         """Drive ``source`` through the cluster under this control plane."""

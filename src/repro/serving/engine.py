@@ -1,0 +1,485 @@
+"""The fast serving engine: indexed event heaps + serve-transition caching.
+
+This module is the ``engine="fast"`` implementation behind
+:class:`~repro.serving.cluster.ShardedServiceCluster`.  It reproduces the
+reference event loops' output *byte-identically* (golden- and property-test
+enforced) while replacing their per-event linear work with indexed
+structures and memoization:
+
+* **Serve-transition cache** — a batch's :class:`ServiceReport` is a pure
+  function of ``(preprocessing state, merged workload)``; the engine caches
+  the ``(state, workload) -> (report, duration, next state)`` transition and
+  replays it on any shard in the same starting state
+  (``PreprocessingSystem.state_key`` / ``snapshot_state`` / ``apply_state``).
+  For DynPre this eliminates the per-batch bitstream-library sweep; for
+  stateless systems it eliminates the analytic model evaluation outright.
+* **Indexed shard heap** — least-loaded dispatch and admission backlog reads
+  pop a ``(busy_until, shard_id)`` priority structure with lazy staleness
+  instead of scanning every shard per batch.
+* **Array-level batch formation** — offline traces are chunked per
+  compatibility key on the trace's structure-of-arrays view
+  (``BatchScheduler.schedule_fast``), one ``searchsorted`` per batch.
+* **Deadline heap** — the online loop's next-expiring-batch query is a heap
+  top instead of a scan over all open batches, and the autoscaler's queue
+  depth is a running counter.
+* **Streaming aggregates** — sojourns fold into
+  :class:`~repro.analysis.metrics.StreamingLatencyStats` and running
+  decomposition sums as requests are served (same accumulation order as the
+  reference report properties, hence bit-identical), so a report can
+  :meth:`~repro.serving.cluster.ClusterReport.compact` away its per-request
+  records at 100k-request scale.
+
+Float discipline: every arithmetic expression that lands in a report is kept
+textually identical to the reference loop's (same operand order, same
+reductions over the same iteration order), because the golden-report suite
+asserts byte equality of the rendered JSON.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import StreamingLatencyStats
+from repro.serving.requests import InferenceRequest
+from repro.serving.scheduler import RequestBatch
+from repro.system.workload import WorkloadProfile
+
+if TYPE_CHECKING:
+    from repro.serving.cluster import ShardedServiceCluster
+    from repro.serving.control import AdmissionController, Autoscaler, SLOPolicy
+    from repro.system.service import GNNService, ServiceReport
+
+
+class ShardHeap:
+    """Keyed priority structure over shard busy horizons.
+
+    ``busy`` is the authoritative per-shard busy-until list (shared with the
+    report's utilisation accounting); the heap holds ``(busy_until, shard)``
+    entries with lazy invalidation — an entry is stale when it no longer
+    matches ``busy``.  Horizons only grow, so staleness is a simple value
+    comparison.  :meth:`pick` returns the shard the reference loop's
+    ``min(active, key=lambda i: (busy_until[i], i))`` would return: the heap
+    order ``(busy, shard_id)`` is exactly that tie-break.
+
+    Entries for shards outside the active prefix (autoscaler drained) are
+    momentarily set aside during a pick and reinserted, so a later scale-up
+    sees their horizons again.
+    """
+
+    __slots__ = ("busy", "_heap")
+
+    def __init__(self, num_shards: int) -> None:
+        self.busy = [0.0] * num_shards
+        self._heap: List[Tuple[float, int]] = [(0.0, i) for i in range(num_shards)]
+
+    def update(self, shard_id: int, busy_until: float) -> None:
+        """Raise one shard's busy horizon."""
+        self.busy[shard_id] = busy_until
+        heapq.heappush(self._heap, (busy_until, shard_id))
+
+    def pick(self, active_count: int) -> int:
+        """Earliest-free shard among the active prefix ``[0, active_count)``."""
+        heap = self._heap
+        deferred: List[Tuple[float, int]] = []
+        while True:
+            busy_until, shard_id = heap[0]
+            if busy_until != self.busy[shard_id]:
+                heapq.heappop(heap)
+                continue
+            if shard_id >= active_count:
+                deferred.append(heapq.heappop(heap))
+                continue
+            break
+        for entry in deferred:
+            heapq.heappush(heap, entry)
+        return shard_id
+
+    def min_busy(self, active_count: int) -> float:
+        """Smallest busy horizon among the active prefix."""
+        return self.busy[self.pick(active_count)]
+
+
+class _RunAccumulator:
+    """Streaming per-request aggregates of one engine run.
+
+    Accumulation order matches the reference report properties exactly
+    (served order, left-fold sums), which is what makes the resulting
+    :class:`~repro.serving.cluster.ReportAggregates` bit-identical to
+    re-deriving the values from the per-request records.
+    """
+
+    __slots__ = (
+        "latency",
+        "batching_sum",
+        "dispatch_sum",
+        "service_sum",
+        "slo_met",
+        "slo",
+    )
+
+    def __init__(self, slo: Optional["SLOPolicy"]) -> None:
+        # Exact report-time stats only: skip the per-push P² marker updates
+        # (live approximate percentiles) in the per-request hot path.
+        self.latency = StreamingLatencyStats(track_approx=False)
+        self.batching_sum = 0.0
+        self.dispatch_sum = 0.0
+        self.service_sum = 0.0
+        self.slo_met = 0
+        self.slo = slo
+
+    def push(
+        self,
+        request: InferenceRequest,
+        batching_delay: float,
+        dispatch_delay: float,
+        service_seconds: float,
+    ) -> None:
+        sojourn = batching_delay + dispatch_delay + service_seconds
+        self.latency.push(sojourn)
+        self.batching_sum += batching_delay
+        self.dispatch_sum += dispatch_delay
+        self.service_sum += service_seconds
+        if self.slo is not None and sojourn <= self.slo.slo_for(request.workload):
+            self.slo_met += 1
+
+    def aggregates(self, count: int, shed_count: int):
+        from repro.serving.cluster import ReportAggregates
+
+        return ReportAggregates(
+            count=count,
+            shed_count=shed_count,
+            latency=self.latency.stats(),
+            batching_sum=self.batching_sum,
+            dispatch_sum=self.dispatch_sum,
+            service_sum=self.service_sum,
+            slo_met=self.slo_met if self.slo is not None else count,
+        )
+
+
+def _cached_serve(
+    cluster: "ShardedServiceCluster", shard: "GNNService", workload: WorkloadProfile
+) -> Tuple["ServiceReport", float]:
+    """Serve ``workload`` on ``shard`` through the serve-transition cache.
+
+    A hit replays the memoized ``(report, duration, end state)`` transition:
+    the report object is shared (it is immutable in practice and compares by
+    value), and ``apply_state`` moves the shard to the exact state a fresh
+    pass would have left — including the reconfiguration event log, which
+    the controller re-derives from the (old, new) configuration pair.
+    """
+    state = shard.preprocessing.state_key()
+    key = (state, workload)
+    hit = cluster._serve_cache.get(key)
+    if hit is not None:
+        report, duration, snapshot = hit
+        shard.preprocessing.apply_state(snapshot)
+        return report, duration
+    report = shard.serve(workload)
+    duration = report.total_seconds
+    cluster._serve_cache[key] = (report, duration, shard.preprocessing.snapshot_state())
+    return report, duration
+
+
+def _merged_workload(
+    batch: RequestBatch, merged_cache: Dict[tuple, WorkloadProfile]
+) -> WorkloadProfile:
+    """The batch's merged workload, memoized on (base profile, summed size).
+
+    The merge itself is delegated to ``RequestBatch.workload`` — the same
+    property the reference loop evaluates — so the two engines cannot drift
+    if the merge formula ever changes; this wrapper only avoids re-running
+    it for every batch of an identical composition.
+    """
+    base = batch.requests[0].workload
+    total = sum(request.workload.batch_size for request in batch.requests)
+    key = (base, total)
+    workload = merged_cache.get(key)
+    if workload is None:
+        workload = batch.workload
+        merged_cache[key] = workload
+    return workload
+
+
+def _pick_shard(
+    cluster: "ShardedServiceCluster",
+    heap: ShardHeap,
+    batch: RequestBatch,
+    workload: WorkloadProfile,
+    active_count: int,
+) -> int:
+    """Replicates ``ShardedServiceCluster._pick_shard`` on the shard heap."""
+    from repro.serving.cluster import (
+        POLICY_LOCALITY,
+        POLICY_ROUND_ROBIN,
+        _home_shard,
+    )
+
+    if cluster.policy == POLICY_ROUND_ROBIN:
+        shard_id = cluster._rr_next % active_count
+        cluster._rr_next += 1
+        return shard_id
+    if cluster.policy == POLICY_LOCALITY:
+        busy = heap.busy
+        configured = [
+            i
+            for i in range(active_count)
+            if cluster.shards[i].configured_for(workload)
+        ]
+        if configured:
+            preferred = min(configured, key=lambda i: (busy[i], i))
+        else:
+            preferred = _home_shard(batch, active_count)
+        backlog = busy[preferred] - batch.ready_seconds
+        if backlog <= cluster.locality_spill_seconds:
+            return preferred
+        return heap.pick(active_count)
+    return heap.pick(active_count)
+
+
+# --------------------------------------------------------------------- offline
+def serve_trace_fast(
+    cluster: "ShardedServiceCluster",
+    trace,
+    slo: Optional["SLOPolicy"] = None,
+):
+    """Fast offline replay — the ``engine="fast"`` path of ``serve_trace``."""
+    from repro.serving.cluster import ClusterReport, ServedRequest
+
+    cluster._rr_next = 0
+    batches = cluster.scheduler.schedule_fast(trace)
+    num_shards = cluster.num_shards
+    heap = ShardHeap(num_shards)
+    busy_total = [0.0] * num_shards
+    shard_requests = [0] * num_shards
+    served: List[ServedRequest] = []
+    accumulator = _RunAccumulator(slo)
+    merged_cache: Dict[tuple, WorkloadProfile] = {}
+    last_finish = 0.0
+
+    for batch in batches:
+        members = batch.requests
+        workload = _merged_workload(batch, merged_cache)
+        ready = batch.ready_seconds
+        shard_id = _pick_shard(cluster, heap, batch, workload, num_shards)
+        start = max(ready, heap.busy[shard_id])
+        report, duration = _cached_serve(cluster, cluster.shards[shard_id], workload)
+        finish = start + duration
+        heap.update(shard_id, finish)
+        busy_total[shard_id] += duration
+        shard_requests[shard_id] += len(members)
+        last_finish = max(last_finish, finish)
+        batch_size = len(members)
+        dispatch_delay = start - ready
+        for request in members:
+            batching_delay = ready - request.arrival_seconds
+            served.append(
+                ServedRequest(
+                    request=request,
+                    shard_id=shard_id,
+                    batch_size=batch_size,
+                    batching_delay=batching_delay,
+                    dispatch_delay=dispatch_delay,
+                    service_seconds=duration,
+                    report=report,
+                )
+            )
+            accumulator.push(request, batching_delay, dispatch_delay, duration)
+
+    first_arrival = trace[0].arrival_seconds
+    return ClusterReport(
+        system=cluster.system_name,
+        policy=cluster.policy,
+        num_shards=num_shards,
+        served=served,
+        num_batches=len(batches),
+        makespan_seconds=last_finish - first_arrival,
+        shard_busy_seconds=busy_total,
+        shard_requests=shard_requests,
+        slo=slo,
+        aggregates=accumulator.aggregates(count=len(served), shed_count=0),
+    )
+
+
+# ---------------------------------------------------------------------- online
+def serve_online_fast(
+    cluster: "ShardedServiceCluster",
+    source,
+    slo: Optional["SLOPolicy"] = None,
+    admission: Optional["AdmissionController"] = None,
+    autoscaler: Optional["Autoscaler"] = None,
+):
+    """Fast online co-simulation — the ``engine="fast"`` path of ``serve_online``.
+
+    Control flow and every float expression mirror the reference loop; the
+    differences are the deadline heap (next expiring batch is a heap top,
+    with lazy invalidation keyed on the opening request's id), the running
+    open-request counter feeding the autoscaler, the shard heap behind
+    dispatch and admission-backlog reads, and the serve-transition cache.
+    """
+    from repro.serving.cluster import ClusterReport, ServedRequest, ShedRecord
+
+    cluster._rr_next = 0
+    num_shards = cluster.num_shards
+    heap = ShardHeap(num_shards)
+    busy_total = [0.0] * num_shards
+    shard_requests = [0] * num_shards
+    served: List[ServedRequest] = []
+    accumulator = _RunAccumulator(slo)
+    merged_cache: Dict[tuple, WorkloadProfile] = {}
+    last_finish = 0.0
+    num_batches = 0
+
+    open_members: Dict[object, List[InferenceRequest]] = {}
+    open_deadline: Dict[object, float] = {}
+    open_count = 0
+    deadline_heap: List[tuple] = []
+    inflight: List[float] = []
+    shed_records: List[ShedRecord] = []
+    decisions: List[object] = []
+    pending_estimates: Dict[int, float] = {}
+    recent_sheds: deque = deque()
+    active_count = num_shards
+    if autoscaler is not None:
+        first_peek = source.peek_time()
+        active_count = autoscaler.start(first_peek if first_peek is not None else 0.0)
+    first_arrival: Optional[float] = None
+    scheduler = cluster.scheduler
+
+    def close_batch(key: object, ready_seconds: float) -> None:
+        nonlocal open_count, last_finish, num_batches
+        members = open_members.pop(key)
+        open_deadline.pop(key)
+        open_count -= len(members)
+        batch = RequestBatch(requests=members, ready_seconds=ready_seconds)
+        workload = _merged_workload(batch, merged_cache)
+        shard_id = _pick_shard(cluster, heap, batch, workload, active_count)
+        start = max(ready_seconds, heap.busy[shard_id])
+        report, duration = _cached_serve(cluster, cluster.shards[shard_id], workload)
+        finish = start + duration
+        heap.update(shard_id, finish)
+        busy_total[shard_id] += duration
+        shard_requests[shard_id] += len(members)
+        num_batches += 1
+        last_finish = max(last_finish, finish)
+        batch_size = len(members)
+        dispatch_delay = start - ready_seconds
+        for request in members:
+            batching_delay = ready_seconds - request.arrival_seconds
+            served.append(
+                ServedRequest(
+                    request=request,
+                    shard_id=shard_id,
+                    batch_size=batch_size,
+                    batching_delay=batching_delay,
+                    dispatch_delay=dispatch_delay,
+                    service_seconds=duration,
+                    report=report,
+                )
+            )
+            accumulator.push(request, batching_delay, dispatch_delay, duration)
+        for request in members:
+            pending_estimates.pop(request.request_id, None)
+            heapq.heappush(inflight, finish)
+            source.on_complete(request, finish)
+
+    def next_deadline() -> Optional[tuple]:
+        """Valid top of the deadline heap: (deadline, first request id, key)."""
+        while deadline_heap:
+            deadline, first_id, key = deadline_heap[0]
+            members = open_members.get(key)
+            if (
+                members is not None
+                and open_deadline[key] == deadline
+                and members[0].request_id == first_id
+            ):
+                return deadline_heap[0]
+            heapq.heappop(deadline_heap)
+        return None
+
+    while True:
+        t_arrival = source.peek_time()
+        expiring = next_deadline()
+        if expiring is not None and (t_arrival is None or expiring[0] <= t_arrival):
+            heapq.heappop(deadline_heap)
+            close_batch(expiring[2], expiring[0])
+            continue
+        if t_arrival is None:
+            break
+        request = source.pop()
+        now = request.arrival_seconds
+        if first_arrival is None:
+            first_arrival = now
+        while inflight and inflight[0] <= now:
+            heapq.heappop(inflight)
+        if autoscaler is not None:
+            while recent_sheds and recent_sheds[0] < now - autoscaler.shed_memory_seconds:
+                recent_sheds.popleft()
+            queue_depth = 1 + len(inflight) + open_count + len(recent_sheds)
+            previous = active_count
+            active_count = autoscaler.observe(now, queue_depth)
+            for shard_id in range(previous, active_count):
+                warmup = autoscaler.warmup_seconds
+                if warmup is None:
+                    warmup = cluster.shards[shard_id].warmup_seconds
+                heap.update(shard_id, max(heap.busy[shard_id], now + warmup))
+        if admission is not None:
+            # Same prediction as the reference loop: least-loaded active
+            # backlog plus admitted-but-undispatched work spread across the
+            # active shards.  The pending sum is re-reduced (not maintained
+            # incrementally) so its float accumulation order matches.
+            backlog = max(heap.min_busy(active_count) - now, 0.0) + sum(
+                pending_estimates.values()
+            ) / active_count
+            estimate = cluster.template.estimate_service_seconds(request.workload)
+            decision = admission.decide(request, now, backlog, estimate)
+            if admission.record_decisions:
+                decisions.append(decision)
+            if decision.admitted:
+                pending_estimates[request.request_id] = estimate
+            if not decision.admitted:
+                shed_records.append(
+                    ShedRecord(
+                        request=request,
+                        shed_seconds=now,
+                        predicted_sojourn=decision.predicted_sojourn,
+                        slo_seconds=decision.slo_seconds,
+                    )
+                )
+                recent_sheds.append(now)
+                source.on_shed(request, now)
+                continue
+        key = request.workload.batch_key
+        members = open_members.get(key)
+        if members is None:
+            members = []
+            open_members[key] = members
+            deadline = now + scheduler.max_wait_seconds
+            open_deadline[key] = deadline
+            heapq.heappush(deadline_heap, (deadline, request.request_id, key))
+        members.append(request)
+        open_count += 1
+        if len(members) >= scheduler.max_batch_size:
+            close_batch(key, now)
+
+    makespan = 0.0
+    if served and first_arrival is not None:
+        makespan = last_finish - first_arrival
+    return ClusterReport(
+        system=cluster.system_name,
+        policy=cluster.policy,
+        num_shards=num_shards,
+        served=served,
+        num_batches=num_batches,
+        makespan_seconds=makespan,
+        shard_busy_seconds=busy_total,
+        shard_requests=shard_requests,
+        shed=shed_records,
+        slo=slo,
+        decisions=decisions,
+        scaling_timeline=list(autoscaler.timeline()) if autoscaler is not None else [],
+        aggregates=accumulator.aggregates(
+            count=len(served), shed_count=len(shed_records)
+        ),
+    )

@@ -21,8 +21,10 @@ clock, so traces are fully deterministic under a seed.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterator, List, NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,6 +32,9 @@ from repro.system.workload import WorkloadProfile
 
 #: Supported open-loop inter-arrival processes.
 ARRIVAL_PROCESSES = ("poisson", "uniform")
+
+#: Version tag of the JSONL trace capture/replay format.
+TRACE_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -47,24 +52,98 @@ class InferenceRequest:
     workload: WorkloadProfile
 
 
-@dataclass
+class TraceArrays(NamedTuple):
+    """Structure-of-arrays view of a trace (the fast engine's working set).
+
+    Attributes:
+        arrival_seconds: float64 arrival timestamps, arrival order.
+        workload_index: per-request index into ``workload_pool``.
+        workload_pool: the distinct workload profiles of the trace.
+        request_ids: per-request identifiers, aligned with the arrays.
+    """
+
+    arrival_seconds: np.ndarray
+    workload_index: np.ndarray
+    workload_pool: List[WorkloadProfile]
+    request_ids: np.ndarray
+
+
 class RequestTrace:
     """An arrival-ordered sequence of inference requests.
 
     Requests are sorted by ``(arrival_seconds, request_id)`` on construction,
     so iteration order is always arrival order regardless of how the trace
     was assembled.
+
+    The trace is dual-represented: as a list of :class:`InferenceRequest`
+    objects (the ``requests`` attribute every consumer iterates) and as a
+    structure-of-arrays view (:meth:`arrays`) the generators produce and the
+    serving fast engine schedules on.  A trace built via :meth:`from_arrays`
+    materializes its request *objects* lazily, on first object-level access
+    — generating a 100k-request trace allocates three numpy arrays, not
+    100k frozen dataclasses.
     """
 
-    requests: List[InferenceRequest] = field(default_factory=list)
-
-    def __post_init__(self) -> None:
-        self.requests = sorted(
-            self.requests, key=lambda r: (r.arrival_seconds, r.request_id)
+    def __init__(self, requests: Optional[Sequence[InferenceRequest]] = None) -> None:
+        self._requests: Optional[List[InferenceRequest]] = sorted(
+            requests or [], key=lambda r: (r.arrival_seconds, r.request_id)
         )
+        self._arrays: Optional[TraceArrays] = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrival_seconds: np.ndarray,
+        workload_pool: Sequence[WorkloadProfile],
+        workload_index: np.ndarray,
+        request_ids: Optional[np.ndarray] = None,
+    ) -> "RequestTrace":
+        """Build a trace from parallel arrays without materializing objects.
+
+        ``request_ids`` defaults to ``0..n-1`` in (stable) arrival order —
+        exactly the ids the object-based constructor would produce for a
+        generator that emits requests in issue order.  Rows are stably
+        sorted by ``(arrival_seconds, request_id)`` like the list path.
+        """
+        arrivals = np.asarray(arrival_seconds, dtype=np.float64)
+        index = np.asarray(workload_index, dtype=np.int64)
+        if arrivals.ndim != 1 or arrivals.shape != index.shape:
+            raise ValueError("arrival_seconds and workload_index must be parallel 1-D arrays")
+        pool = list(workload_pool)
+        if len(index) and (index.min() < 0 or index.max() >= len(pool)):
+            raise ValueError("workload_index out of range for the workload pool")
+        if request_ids is None:
+            ids = np.arange(len(arrivals), dtype=np.int64)
+        else:
+            ids = np.asarray(request_ids, dtype=np.int64)
+            if ids.shape != arrivals.shape:
+                raise ValueError("request_ids must parallel arrival_seconds")
+        order = np.lexsort((ids, arrivals))
+        if not np.array_equal(order, np.arange(len(order))):
+            arrivals, index, ids = arrivals[order], index[order], ids[order]
+        trace = cls.__new__(cls)
+        trace._requests = None
+        trace._arrays = TraceArrays(arrivals, index, pool, ids)
+        return trace
+
+    # ----------------------------------------------------------- object view
+    @property
+    def requests(self) -> List[InferenceRequest]:
+        """The request objects in arrival order (materialized on demand)."""
+        if self._requests is None:
+            arrivals, index, pool, ids = self._arrays
+            self._requests = [
+                InferenceRequest(
+                    request_id=rid, arrival_seconds=t, workload=pool[w]
+                )
+                for rid, t, w in zip(ids.tolist(), arrivals.tolist(), index.tolist())
+            ]
+        return self._requests
 
     def __len__(self) -> int:
-        return len(self.requests)
+        if self._requests is not None:
+            return len(self._requests)
+        return len(self._arrays.arrival_seconds)
 
     def __iter__(self) -> Iterator[InferenceRequest]:
         return iter(self.requests)
@@ -72,23 +151,148 @@ class RequestTrace:
     def __getitem__(self, index: int) -> InferenceRequest:
         return self.requests[index]
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequestTrace):
+            return NotImplemented
+        return self.requests == other.requests
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RequestTrace(num_requests={len(self)})"
+
+    # ------------------------------------------------------------ array view
+    def arrays(self) -> TraceArrays:
+        """Structure-of-arrays view (built from the object list if needed)."""
+        if self._arrays is None:
+            requests = self._requests
+            pool: List[WorkloadProfile] = []
+            slot_of = {}
+            index = np.empty(len(requests), dtype=np.int64)
+            arrivals = np.empty(len(requests), dtype=np.float64)
+            ids = np.empty(len(requests), dtype=np.int64)
+            for i, request in enumerate(requests):
+                slot = slot_of.get(request.workload)
+                if slot is None:
+                    slot = len(pool)
+                    slot_of[request.workload] = slot
+                    pool.append(request.workload)
+                index[i] = slot
+                arrivals[i] = request.arrival_seconds
+                ids[i] = request.request_id
+            self._arrays = TraceArrays(arrivals, index, pool, ids)
+        return self._arrays
+
+    # ------------------------------------------------------------ aggregates
     @property
     def duration_seconds(self) -> float:
         """Span between the first and last arrival (0 for short traces)."""
-        if len(self.requests) < 2:
+        if len(self) < 2:
             return 0.0
-        return self.requests[-1].arrival_seconds - self.requests[0].arrival_seconds
+        if self._arrays is not None:
+            arrivals = self._arrays.arrival_seconds
+            return float(arrivals[-1] - arrivals[0])
+        return self._requests[-1].arrival_seconds - self._requests[0].arrival_seconds
 
     @property
     def offered_rate_rps(self) -> float:
         """Average offered load of the trace in requests per second."""
         if self.duration_seconds <= 0:
             return 0.0
-        return (len(self.requests) - 1) / self.duration_seconds
+        return (len(self) - 1) / self.duration_seconds
 
     def workloads(self) -> List[WorkloadProfile]:
         """The workload of every request, in arrival order."""
-        return [request.workload for request in self.requests]
+        if self._arrays is not None:
+            pool = self._arrays.workload_pool
+            return [pool[w] for w in self._arrays.workload_index.tolist()]
+        return [request.workload for request in self._requests]
+
+    # -------------------------------------------------------- capture/replay
+    def to_jsonl(self, path: Union[str, Path]) -> Path:
+        """Capture the trace to a JSONL file (see :meth:`from_jsonl`).
+
+        Line 1 is a header, followed by one line per distinct workload
+        profile and one line per request (ids, timestamps and the workload
+        pool index).  Keys are sorted, so the capture of a deterministic
+        trace is byte-stable — overload scenarios serialized in one PR can
+        be replayed and diffed system-to-system in later ones.
+        """
+        arrivals, index, pool, ids = self.arrays()
+        lines = [
+            json.dumps(
+                {
+                    "kind": "trace",
+                    "version": TRACE_FORMAT_VERSION,
+                    "num_requests": len(self),
+                    "num_workloads": len(pool),
+                },
+                sort_keys=True,
+            )
+        ]
+        for slot, workload in enumerate(pool):
+            lines.append(
+                json.dumps(
+                    {"kind": "workload", "index": slot, "profile": asdict(workload)},
+                    sort_keys=True,
+                )
+            )
+        for rid, t, w in zip(ids.tolist(), arrivals.tolist(), index.tolist()):
+            lines.append(
+                json.dumps(
+                    {"kind": "request", "id": rid, "arrival_seconds": t, "workload": w},
+                    sort_keys=True,
+                )
+            )
+        path = Path(path)
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "RequestTrace":
+        """Replay a trace captured with :meth:`to_jsonl`.
+
+        Round-trip exact: JSON serializes floats via ``repr`` (shortest
+        round-trip), so replayed arrival timestamps, ids and workload
+        profiles compare equal to the captured trace's.
+        """
+        lines = Path(path).read_text().splitlines()
+        if not lines:
+            raise ValueError(f"empty trace file: {path}")
+        header = json.loads(lines[0])
+        if header.get("kind") != "trace":
+            raise ValueError(f"not a trace capture (bad header): {path}")
+        if header.get("version") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header.get('version')!r} "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        pool: List[Optional[WorkloadProfile]] = [None] * header["num_workloads"]
+        ids: List[int] = []
+        arrivals: List[float] = []
+        index: List[int] = []
+        for line in lines[1:]:
+            record = json.loads(line)
+            kind = record["kind"]
+            if kind == "workload":
+                pool[record["index"]] = WorkloadProfile(**record["profile"])
+            elif kind == "request":
+                ids.append(record["id"])
+                arrivals.append(record["arrival_seconds"])
+                index.append(record["workload"])
+            else:
+                raise ValueError(f"unknown record kind {kind!r} in {path}")
+        if any(workload is None for workload in pool):
+            raise ValueError(f"trace capture is missing workload records: {path}")
+        if len(ids) != header["num_requests"]:
+            raise ValueError(
+                f"trace capture truncated: header says {header['num_requests']} "
+                f"requests, found {len(ids)}"
+            )
+        return cls.from_arrays(
+            np.asarray(arrivals, dtype=np.float64),
+            pool,
+            np.asarray(index, dtype=np.int64),
+            request_ids=np.asarray(ids, dtype=np.int64),
+        )
 
 
 class RequestQueue:
@@ -145,16 +349,19 @@ class RequestQueue:
         return ready
 
 
-def _workload_mix(
+def _workload_picks(
     workloads: Sequence[WorkloadProfile], rng: np.random.Generator, count: int
-) -> List[WorkloadProfile]:
-    """Pick ``count`` workloads from the mix (uniform, seeded)."""
+) -> np.ndarray:
+    """Indices of ``count`` workloads picked from the mix (uniform, seeded).
+
+    A single-workload mix consumes no randomness, matching the historical
+    object-building helper, so seeded traces stay byte-identical.
+    """
     if not workloads:
         raise ValueError("workload mix must be non-empty")
     if len(workloads) == 1:
-        return [workloads[0]] * count
-    picks = rng.integers(0, len(workloads), size=count)
-    return [workloads[int(i)] for i in picks]
+        return np.zeros(count, dtype=np.int64)
+    return rng.integers(0, len(workloads), size=count)
 
 
 @dataclass
@@ -184,7 +391,12 @@ class OpenLoopArrivals:
             )
 
     def trace(self, num_requests: int) -> RequestTrace:
-        """Generate a trace of ``num_requests`` timestamped requests."""
+        """Generate a trace of ``num_requests`` timestamped requests.
+
+        Structure-of-arrays throughout: gaps, arrival prefix sums and
+        workload picks stay numpy arrays; request objects materialize only
+        when a consumer touches the trace's object view.
+        """
         if num_requests <= 0:
             raise ValueError("num_requests must be positive")
         rng = np.random.default_rng(self.seed)
@@ -193,14 +405,8 @@ class OpenLoopArrivals:
         else:
             gaps = np.full(num_requests, 1.0 / self.rate_rps)
         arrivals = np.cumsum(gaps)
-        mix = _workload_mix(self.workloads, rng, num_requests)
-        requests = [
-            InferenceRequest(
-                request_id=i, arrival_seconds=float(arrivals[i]), workload=mix[i]
-            )
-            for i in range(num_requests)
-        ]
-        return RequestTrace(requests)
+        picks = _workload_picks(self.workloads, rng, num_requests)
+        return RequestTrace.from_arrays(arrivals, list(self.workloads), picks)
 
 
 @dataclass
@@ -241,21 +447,19 @@ class ClosedLoopArrivals:
             raise ValueError("num_requests must be positive")
         rng = np.random.default_rng(self.seed)
         estimate = self.service_time_fn or (lambda workload: 0.0)
-        mix = _workload_mix(self.workloads, rng, num_requests)
+        pool = list(self.workloads)
+        picks = _workload_picks(pool, rng, num_requests)
         # Min-heap of (next issue time, client id): clients start staggered at
         # t = 0 so the first wave arrives together, like a load generator.
         clients = [(0.0, c) for c in range(self.num_clients)]
         heapq.heapify(clients)
-        requests: List[InferenceRequest] = []
-        for i in range(num_requests):
+        arrivals = np.empty(num_requests, dtype=np.float64)
+        for i, pick in enumerate(picks.tolist()):
             issue_at, client = heapq.heappop(clients)
-            workload = mix[i]
-            requests.append(
-                InferenceRequest(request_id=i, arrival_seconds=issue_at, workload=workload)
-            )
-            done_estimate = issue_at + max(estimate(workload), 0.0)
+            arrivals[i] = issue_at
+            done_estimate = issue_at + max(estimate(pool[pick]), 0.0)
             heapq.heappush(clients, (done_estimate + self.think_seconds, client))
-        return RequestTrace(requests)
+        return RequestTrace.from_arrays(arrivals, pool, picks)
 
     def co_simulated(
         self, max_requests: int, retry_backoff_seconds: float = 0.0

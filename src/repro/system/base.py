@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Hashable, Optional
 
 from repro.analysis.metrics import EndToEndLatency, TaskLatencies
 from repro.system.pcie import PCIeLink, TransferBreakdown
@@ -86,6 +86,38 @@ class PreprocessingSystem(ABC):
         clone = type(self)(pcie=self.pcie)
         clone.name = self.name
         return clone
+
+    # -------------------------------------------------------- serving state
+    def state_key(self) -> Optional[Hashable]:
+        """Hashable digest of the mutable state that affects ``evaluate``.
+
+        ``None`` (the default) declares the system *stateless for serving*:
+        ``evaluate`` is a pure function of the workload, so results may be
+        memoized on the workload alone and replayed on any replica.  Systems
+        whose passes depend on mutable state (DynPre's currently loaded
+        bitstream pair) override this with a digest of that state; the
+        serving fast engine and the service-level cost cache key their
+        memoization on it, which is what makes a post-reconfigure estimate
+        unable to reuse a pre-reconfigure cost.
+        """
+        return None
+
+    def snapshot_state(self) -> Optional[object]:
+        """Opaque snapshot of the mutable serving state (None = stateless).
+
+        Taken by the serving fast engine right after a freshly computed pass
+        so the (state, workload) -> (report, next state) transition can be
+        replayed from cache on any replica in the same starting state.
+        """
+        return None
+
+    def apply_state(self, snapshot: Optional[object]) -> None:
+        """Restore a snapshot captured by :meth:`snapshot_state` (no-op here).
+
+        Replaying a cached transition must leave the replica in exactly the
+        state a fresh pass would have produced — including bookkeeping such
+        as reconfiguration event logs — so stateful systems override this.
+        """
 
     # ----------------------------------------------------------- cost hints
     def cost_hint(self, workload: WorkloadProfile) -> float:

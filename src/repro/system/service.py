@@ -82,8 +82,12 @@ class GNNService:
         if power_platform is None:
             power_platform = self._default_power_platform(preprocessing)
         self.power = PowerModel(preprocessing_platform=power_platform)
-        # Calibrated per-batch cost estimates, keyed by (batch_key, batch_size).
+        # Calibrated per-batch cost estimates, keyed by (preprocessing state,
+        # batch_key, batch_size): a post-reconfigure estimate must never reuse
+        # a pre-reconfigure cost, so the system's state_key is part of the key.
         self._cost_cache: Dict[tuple, float] = {}
+        # Modelled inference latency is pure in the workload's subgraph shape.
+        self._inference_cache: Dict[tuple, float] = {}
 
     @staticmethod
     def _default_power_platform(system: PreprocessingSystem) -> str:
@@ -96,14 +100,30 @@ class GNNService:
 
     # ---------------------------------------------------------------- serving
     def inference_latency(self, workload: WorkloadProfile) -> float:
-        """Modelled GPU inference latency for the workload's sampled subgraph."""
-        return self.inference.latency_from_counts(
-            num_nodes=workload.sampled_nodes,
-            num_edges=workload.sampled_edges,
-            hidden_dim=workload.feature_dim,
-            num_layers=workload.num_layers,
-            model_name=workload.model_name,
+        """Modelled GPU inference latency for the workload's sampled subgraph.
+
+        Memoized on the subgraph shape: the latency model is deterministic in
+        (nodes, edges, dims, model), and rebuilding the model's FLOP profile
+        per request dominated the per-pass cost of the serving loops.
+        """
+        key = (
+            workload.model_name,
+            workload.num_layers,
+            workload.feature_dim,
+            workload.sampled_nodes,
+            workload.sampled_edges,
         )
+        cached = self._inference_cache.get(key)
+        if cached is None:
+            cached = self.inference.latency_from_counts(
+                num_nodes=workload.sampled_nodes,
+                num_edges=workload.sampled_edges,
+                hidden_dim=workload.feature_dim,
+                num_layers=workload.num_layers,
+                model_name=workload.model_name,
+            )
+            self._inference_cache[key] = cached
+        return cached
 
     def serve(self, workload: WorkloadProfile) -> ServiceReport:
         """Model one end-to-end inference pass of ``workload``."""
@@ -127,9 +147,13 @@ class GNNService:
         estimate is the preprocessing system's :meth:`cost_hint` (evaluated
         on a throwaway replica, so stateful systems are not perturbed) plus
         the modelled inference latency, memoized per batch-compatible
-        workload shape.
+        workload shape *and* per preprocessing state: a stateful system's
+        hint depends on what is currently loaded (a DynPre replica starts
+        from this service's configuration and may pay a reconfiguration), so
+        an estimate taken after a reconfiguration must not reuse the cost
+        cached before it.
         """
-        key = (workload.batch_key, workload.batch_size)
+        key = (self.preprocessing.state_key(), workload.batch_key, workload.batch_size)
         if key not in self._cost_cache:
             self._cost_cache[key] = self.preprocessing.cost_hint(
                 workload
@@ -139,6 +163,14 @@ class GNNService:
     def configured_for(self, workload: WorkloadProfile) -> bool:
         """Whether this service's preprocessing state already suits ``workload``."""
         return self.preprocessing.configured_for(workload)
+
+    def state_key(self):
+        """Digest of the preprocessing state a pass's outcome depends on.
+
+        ``None`` for stateless systems; the serving fast engine keys its
+        serve-transition cache on this (see ``PreprocessingSystem.state_key``).
+        """
+        return self.preprocessing.state_key()
 
     @property
     def warmup_seconds(self) -> float:

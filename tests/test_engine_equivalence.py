@@ -1,0 +1,342 @@
+"""Reference ↔ fast engine equivalence: the fast engine's headline contract.
+
+``ShardedServiceCluster(engine="fast")`` must produce **byte-identical**
+``ClusterReport.as_dict()`` output to ``engine="reference"`` — the golden
+files pin specific runs, and the suites here sweep the space: every system,
+every dispatch policy, randomized traces and scheduler parameters
+(hypothesis), the online loop with and without the control plane, and the
+batching timeout boundaries where a tie-break bug would first show up.
+"""
+
+import json
+
+import pytest
+from conftest import SYSTEM_NAMES, WORKLOAD_POOL, make_profile
+from hypothesis import given, settings, strategies as st
+
+from repro.serving import (
+    Autoscaler,
+    BatchScheduler,
+    ClosedLoopClients,
+    DISPATCH_POLICIES,
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    InferenceRequest,
+    OpenLoopArrivals,
+    RequestTrace,
+    ServingController,
+    ShardedServiceCluster,
+    SLOPolicy,
+    TraceArrivals,
+)
+from repro.serving.engine import ShardHeap
+
+
+def _render(report) -> str:
+    return json.dumps(report.as_dict(), sort_keys=True)
+
+
+def _cluster(services, name, engine, **kwargs):
+    kwargs.setdefault("num_shards", 3)
+    return ShardedServiceCluster(services[name], engine=engine, **kwargs)
+
+
+def _pair(services, name, **kwargs):
+    return (
+        _cluster(services, name, ENGINE_REFERENCE, **kwargs),
+        _cluster(services, name, ENGINE_FAST, **kwargs),
+    )
+
+
+# ------------------------------------------------------------------- offline
+class TestOfflineEquivalence:
+    @pytest.mark.parametrize("name", SYSTEM_NAMES)
+    @pytest.mark.parametrize("policy", DISPATCH_POLICIES)
+    def test_all_systems_all_policies(self, services, name, policy):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=400.0, seed=5).trace(40)
+        scheduler = BatchScheduler(max_batch_size=3, max_wait_seconds=0.004)
+        reference, fast = _pair(
+            services, name, policy=policy, scheduler=scheduler,
+            locality_spill_seconds=0.05,
+        )
+        assert _render(reference.serve_trace(trace)) == _render(fast.serve_trace(trace))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        name=st.sampled_from(SYSTEM_NAMES),
+        policy=st.sampled_from(DISPATCH_POLICIES),
+        num_requests=st.integers(min_value=1, max_value=40),
+        rate_rps=st.sampled_from([50.0, 400.0, 2000.0]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        max_batch_size=st.integers(min_value=1, max_value=5),
+        max_wait_ms=st.sampled_from([0.0, 1.0, 5.0, 50.0]),
+        num_shards=st.integers(min_value=1, max_value=5),
+    )
+    def test_property_sweep(
+        self, services, name, policy, num_requests, rate_rps, seed,
+        max_batch_size, max_wait_ms, num_shards,
+    ):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=rate_rps, seed=seed).trace(
+            num_requests
+        )
+        scheduler = BatchScheduler(
+            max_batch_size=max_batch_size, max_wait_seconds=max_wait_ms * 1e-3
+        )
+        reference, fast = _pair(
+            services, name, num_shards=num_shards, policy=policy, scheduler=scheduler
+        )
+        assert _render(reference.serve_trace(trace)) == _render(fast.serve_trace(trace))
+
+    def test_slo_scored_offline_run(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=1000.0, seed=9).trace(30)
+        slo = SLOPolicy(default_slo_seconds=0.1, per_workload={"wl-m": 0.2})
+        reference, fast = _pair(services, "DynPre")
+        assert _render(reference.serve_trace(trace, slo=slo)) == _render(
+            fast.serve_trace(trace, slo=slo)
+        )
+
+    def test_served_records_match_not_just_summaries(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=500.0, seed=3).trace(24)
+        scheduler = BatchScheduler(max_batch_size=4, max_wait_seconds=0.002)
+        reference, fast = _pair(services, "StatPre", scheduler=scheduler)
+        ref_report = reference.serve_trace(trace)
+        fast_report = fast.serve_trace(trace)
+        assert len(ref_report.served) == len(fast_report.served)
+        for a, b in zip(ref_report.served, fast_report.served):
+            assert a.request == b.request
+            assert a.shard_id == b.shard_id
+            assert a.batch_size == b.batch_size
+            assert a.batching_delay == b.batching_delay
+            assert a.dispatch_delay == b.dispatch_delay
+            assert a.service_seconds == b.service_seconds
+            assert a.report == b.report
+        assert ref_report.service_reports() == fast_report.service_reports()
+
+
+# -------------------------------------------------------------------- online
+class TestOnlineEquivalence:
+    def test_uncontrolled_replay(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=600.0, seed=11).trace(30)
+        scheduler = BatchScheduler(max_batch_size=3, max_wait_seconds=0.003)
+        reference, fast = _pair(services, "DynPre", scheduler=scheduler)
+        assert _render(reference.serve_online(TraceArrivals(trace))) == _render(
+            fast.serve_online(TraceArrivals(trace))
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=st.sampled_from(SYSTEM_NAMES),
+        seed=st.integers(min_value=0, max_value=2**16),
+        num_clients=st.integers(min_value=1, max_value=12),
+        slo_ms=st.sampled_from([50.0, 200.0, 1000.0]),
+    )
+    def test_controlled_closed_loop(self, services, name, seed, num_clients, slo_ms):
+        scheduler = BatchScheduler(max_batch_size=3, max_wait_seconds=0.004)
+        slo = SLOPolicy(default_slo_seconds=slo_ms * 1e-3)
+
+        def run(engine):
+            cluster = _cluster(services, name, engine, scheduler=scheduler)
+            scaler = Autoscaler(
+                min_shards=1, max_shards=3, scale_up_depth=2.0,
+                scale_down_depth=0.5, hysteresis_observations=2,
+            )
+            clients = ClosedLoopClients(
+                WORKLOAD_POOL, num_clients=num_clients, think_seconds=0.005,
+                seed=seed, max_requests=30, retry_backoff_seconds=0.02,
+            )
+            return ServingController(cluster, slo=slo, autoscaler=scaler).serve(clients)
+
+        assert _render(run(ENGINE_REFERENCE)) == _render(run(ENGINE_FAST))
+
+
+# -------------------------------------------- batching timeout boundaries
+class TestTimeoutBoundaries:
+    """Size-or-timeout edge cases must close identically in both engines."""
+
+    WAIT = 0.005
+
+    def _reports(self, services, trace, max_batch_size):
+        scheduler = BatchScheduler(
+            max_batch_size=max_batch_size, max_wait_seconds=self.WAIT
+        )
+        reference, fast = _pair(
+            services, "CPU", num_shards=2, scheduler=scheduler
+        )
+        offline = (reference.serve_trace(trace), fast.serve_trace(trace))
+        online = (
+            reference.serve_online(TraceArrivals(trace)),
+            fast.serve_online(TraceArrivals(trace)),
+        )
+        assert _render(offline[0]) == _render(offline[1])
+        assert _render(online[0]) == _render(online[1])
+        assert _render(offline[0]) == _render(online[0])
+        return offline[1]
+
+    def test_arrival_exactly_at_deadline_starts_new_batch(self, services):
+        # Third request lands exactly at the first batch's deadline: the
+        # timer fires first (deadline <= now), so the batch closes with two
+        # members and the boundary request opens a fresh batch.
+        w = make_profile()
+        trace = RequestTrace(
+            [
+                InferenceRequest(0, 0.0, w),
+                InferenceRequest(1, 0.002, w),
+                InferenceRequest(2, self.WAIT, w),
+            ]
+        )
+        report = self._reports(services, trace, max_batch_size=8)
+        assert report.num_batches == 2
+        sizes = sorted(s.batch_size for s in report.served)
+        assert sizes == [1, 2, 2]
+        first = next(s for s in report.served if s.request.request_id == 0)
+        assert first.batching_delay == pytest.approx(self.WAIT)
+
+    def test_batch_fills_on_the_deadline_tick(self, services):
+        # The filling (max_batch_size-th) request arrives exactly when the
+        # batch's timer expires: the timer still fires first, so the batch
+        # closes *without* the filler in both engines — no double-close, no
+        # engine divergence on the tie.
+        w = make_profile()
+        trace = RequestTrace(
+            [
+                InferenceRequest(0, 0.0, w),
+                InferenceRequest(1, self.WAIT, w),
+            ]
+        )
+        report = self._reports(services, trace, max_batch_size=2)
+        assert report.num_batches == 2
+        assert all(s.batch_size == 1 for s in report.served)
+
+    def test_fill_and_foreign_deadline_on_same_tick(self, services):
+        # Key "a" fills by size at the same instant key "b"'s timer expires:
+        # the offline scheduler closes the expired batch first (ready times
+        # stay monotone), and the online loop's deadline-before-arrival
+        # tie-break reproduces it; both engines must agree on the order.
+        a, b = make_profile("a"), make_profile("b")
+        trace = RequestTrace(
+            [
+                InferenceRequest(0, 0.0, b),
+                InferenceRequest(1, 0.001, a),
+                InferenceRequest(2, self.WAIT, a),
+            ]
+        )
+        report = self._reports(services, trace, max_batch_size=2)
+        assert report.num_batches == 2
+        a_records = [s for s in report.served if s.request.workload.name == "a"]
+        assert all(s.batch_size == 2 for s in a_records)
+
+    def test_zero_wait_disables_cross_request_batching(self, services):
+        # max_wait_seconds=0: every deadline coincides with its opener's
+        # arrival, so even coincident arrivals close as singleton batches.
+        w = make_profile()
+        trace = RequestTrace(
+            [InferenceRequest(i, 0.0, w) for i in range(4)]
+        )
+        scheduler = BatchScheduler(max_batch_size=8, max_wait_seconds=0.0)
+        reference, fast = _pair(services, "CPU", num_shards=2, scheduler=scheduler)
+        ref_report = reference.serve_trace(trace)
+        fast_report = fast.serve_trace(trace)
+        assert _render(ref_report) == _render(fast_report)
+        assert fast_report.num_batches == 4
+
+
+# ------------------------------------------------------- scheduler fast path
+class TestScheduleFastEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_requests=st.integers(min_value=1, max_value=60),
+        rate_rps=st.sampled_from([100.0, 1000.0, 5000.0]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        max_batch_size=st.integers(min_value=1, max_value=6),
+        max_wait_ms=st.sampled_from([0.0, 0.5, 2.0, 20.0]),
+    )
+    def test_matches_reference_schedule(
+        self, num_requests, rate_rps, seed, max_batch_size, max_wait_ms
+    ):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=rate_rps, seed=seed).trace(
+            num_requests
+        )
+        scheduler = BatchScheduler(
+            max_batch_size=max_batch_size, max_wait_seconds=max_wait_ms * 1e-3
+        )
+        reference = scheduler.schedule(trace)
+        fast = scheduler.schedule_fast(trace)
+        assert len(reference) == len(fast)
+        for ref_batch, fast_batch in zip(reference, fast):
+            assert ref_batch.ready_seconds == fast_batch.ready_seconds
+            assert ref_batch.requests == fast_batch.requests
+            assert ref_batch.workload == fast_batch.workload
+
+
+# --------------------------------------------------------------- fast extras
+class TestFastEngineExtras:
+    def test_compact_preserves_summary(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=500.0, seed=2).trace(30)
+        cluster = _cluster(
+            services, "DynPre", ENGINE_FAST,
+            scheduler=BatchScheduler(max_batch_size=3, max_wait_seconds=0.002),
+        )
+        report = cluster.serve_trace(trace)
+        rendered = _render(report)
+        report.compact()
+        assert _render(report) == rendered
+        assert report.served == [] and report.num_requests == 30
+
+    def test_compact_requires_aggregates(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=500.0, seed=2).trace(5)
+        report = _cluster(services, "CPU", ENGINE_REFERENCE).serve_trace(trace)
+        with pytest.raises(ValueError, match="aggregates"):
+            report.compact()
+
+    def test_rejects_unknown_engine(self, services):
+        with pytest.raises(ValueError, match="engine"):
+            ShardedServiceCluster(services["CPU"], engine="warp")
+
+    def test_serve_cache_reused_across_runs(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=500.0, seed=4).trace(12)
+        cluster = _cluster(services, "DynPre", ENGINE_FAST)
+        first = _render(cluster.serve_trace(trace))
+        populated = len(cluster._serve_cache)
+        assert populated > 0
+        # A second replay hits the cache and must not change the outcome
+        # (same initial shard state: new clusters replicate the template).
+        fresh = _cluster(services, "DynPre", ENGINE_FAST)
+        assert _render(fresh.serve_trace(trace)) == first
+
+    def test_unrecorded_decisions_do_not_change_outcomes(self, services):
+        slo = SLOPolicy(default_slo_seconds=0.2)
+
+        def run(record):
+            cluster = _cluster(services, "DynPre", ENGINE_FAST)
+            controller = ServingController(cluster, slo=slo, record_decisions=record)
+            clients = ClosedLoopClients(
+                WORKLOAD_POOL, num_clients=8, think_seconds=0.0, seed=3,
+                max_requests=40, retry_backoff_seconds=0.05,
+            )
+            report = controller.serve(clients)
+            return controller, report
+
+        recorded, report_a = run(True)
+        unrecorded, report_b = run(False)
+        assert _render(report_a) == _render(report_b)
+        assert len(recorded.admission.decisions) > 0
+        assert len(report_a.decisions) == len(recorded.admission.decisions)
+        # The flag bounds memory: neither the controller log nor the
+        # report's decision list accumulates.
+        assert unrecorded.admission.decisions == []
+        assert report_b.decisions == []
+
+    def test_shard_heap_matches_linear_min(self):
+        import random
+
+        rng = random.Random(7)
+        heap = ShardHeap(5)
+        busy = [0.0] * 5
+        for _ in range(200):
+            active = rng.randint(1, 5)
+            expected = min(range(active), key=lambda i: (busy[i], i))
+            assert heap.pick(active) == expected
+            shard = rng.randrange(5)
+            bump = busy[shard] + rng.random()
+            busy[shard] = bump
+            heap.update(shard, bump)

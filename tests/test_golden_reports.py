@@ -22,6 +22,8 @@ from repro.serving import (
     BatchScheduler,
     ClosedLoopClients,
     DISPATCH_POLICIES,
+    ENGINE_FAST,
+    ENGINES,
     OpenLoopArrivals,
     ServingController,
     ShardedServiceCluster,
@@ -45,18 +47,18 @@ def _scheduler() -> BatchScheduler:
     return BatchScheduler(max_batch_size=3, max_wait_seconds=0.004)
 
 
-def _offline_report(services, policy: str):
+def _offline_report(services, policy: str, engine: str = ENGINE_FAST):
     trace = OpenLoopArrivals(GOLDEN_MIX, rate_rps=300.0, seed=13).trace(24)
     cluster = ShardedServiceCluster(
         services["StatPre"], num_shards=3, scheduler=_scheduler(), policy=policy,
-        locality_spill_seconds=0.05,
+        locality_spill_seconds=0.05, engine=engine,
     )
     return cluster.serve_trace(trace)
 
 
-def _controlled_report(services):
+def _controlled_report(services, engine: str = ENGINE_FAST):
     cluster = ShardedServiceCluster(
-        services["DynPre"], num_shards=3, scheduler=_scheduler()
+        services["DynPre"], num_shards=3, scheduler=_scheduler(), engine=engine
     )
     slo = SLOPolicy(default_slo_seconds=0.5, per_workload={"gold-b": 0.4})
     scaler = Autoscaler(
@@ -83,19 +85,21 @@ def golden_services():
     return build_services()
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("policy", DISPATCH_POLICIES)
-def test_offline_report_matches_golden(golden_services, policy):
-    rendered = _render(_offline_report(golden_services, policy))
+def test_offline_report_matches_golden(golden_services, policy, engine):
+    rendered = _render(_offline_report(golden_services, policy, engine))
     expected = _golden_path(policy).read_text()
     assert rendered == expected, (
-        f"ClusterReport for policy {policy!r} drifted from its golden copy; "
-        "if the change is intentional, regenerate with "
+        f"ClusterReport for policy {policy!r} (engine {engine!r}) drifted from "
+        "its golden copy; if the change is intentional, regenerate with "
         "`PYTHONPATH=src python tests/test_golden_reports.py --regen`"
     )
 
 
-def test_controlled_report_matches_golden(golden_services):
-    rendered = _render(_controlled_report(golden_services))
+@pytest.mark.parametrize("engine", ENGINES)
+def test_controlled_report_matches_golden(golden_services, engine):
+    rendered = _render(_controlled_report(golden_services, engine))
     expected = _golden_path("controlled").read_text()
     assert rendered == expected
 

@@ -1,0 +1,108 @@
+"""Streaming latency accumulator: exact fallback + P² sanity.
+
+The fast engine's report aggregates are only sound if
+``StreamingLatencyStats.stats()`` is *bit-identical* to
+``LatencyStats.from_samples`` over the same push sequence — every field,
+not approximately: the golden-report suite compares rendered JSON bytes.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.metrics import (
+    LatencyStats,
+    P2Quantile,
+    StreamingLatencyStats,
+    percentile,
+)
+
+samples_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=200,
+)
+
+
+class TestStreamingExactFallback:
+    @settings(max_examples=50, deadline=None)
+    @given(samples=samples_lists)
+    def test_stats_bit_identical_to_from_samples(self, samples):
+        accumulator = StreamingLatencyStats()
+        for sample in samples:
+            accumulator.push(sample)
+        streamed = accumulator.stats()
+        batch = LatencyStats.from_samples(samples)
+        assert streamed.count == batch.count
+        assert streamed.mean == batch.mean
+        assert streamed.p50 == batch.p50
+        assert streamed.p95 == batch.p95
+        assert streamed.p99 == batch.p99
+        assert streamed.max == batch.max
+
+    def test_empty_accumulator(self):
+        accumulator = StreamingLatencyStats()
+        assert len(accumulator) == 0
+        assert accumulator.stats() == LatencyStats()
+
+    def test_running_totals(self):
+        accumulator = StreamingLatencyStats()
+        for sample in (0.5, 1.5, 1.0):
+            accumulator.push(sample)
+        assert accumulator.count == 3
+        assert accumulator.total == pytest.approx(3.0)
+
+    def test_percentile_helper_unchanged(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.5
+        with pytest.raises(ValueError):
+            percentile(values, -1)
+
+
+class TestP2Quantile:
+    def test_exact_below_five_samples(self):
+        estimator = P2Quantile(50)
+        for sample in (3.0, 1.0):
+            estimator.push(sample)
+        assert estimator.estimate() == 2.0
+
+    def test_rejects_degenerate_quantiles(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0)
+        with pytest.raises(ValueError):
+            P2Quantile(100)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_tracks_exact_percentile_on_uniform_samples(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        samples = [rng.random() for _ in range(800)]
+        accumulator = StreamingLatencyStats()
+        for sample in samples:
+            accumulator.push(sample)
+        for q in StreamingLatencyStats.APPROX_QUANTILES:
+            exact = percentile(samples, q)
+            approx = accumulator.approx_percentile(q)
+            # P² converges to within a few percent of the exact quantile on
+            # well-behaved distributions; this is a monitoring estimate, not
+            # a report value, so the tolerance is loose but bounded.
+            assert math.isfinite(approx)
+            assert abs(approx - exact) <= 0.08
+
+    def test_unknown_quantile_rejected(self):
+        accumulator = StreamingLatencyStats()
+        with pytest.raises(KeyError):
+            accumulator.approx_percentile(42.0)
+
+    def test_track_approx_off_skips_markers_but_keeps_exact_stats(self):
+        tracked = StreamingLatencyStats()
+        untracked = StreamingLatencyStats(track_approx=False)
+        for sample in (0.3, 0.1, 0.9, 0.4, 0.7, 0.2):
+            tracked.push(sample)
+            untracked.push(sample)
+        assert untracked.stats() == tracked.stats()
+        with pytest.raises(KeyError):
+            untracked.approx_percentile(50.0)

@@ -80,6 +80,37 @@ class TestServe:
         reports = services["CPU"].serve_many(workloads)
         assert len(reports) == 2
 
+    def test_estimate_cache_keyed_by_reconfiguration_state(self, services):
+        # Regression: the cost cache used to be keyed by workload shape only,
+        # so an estimate taken *after* a reconfiguration silently reused the
+        # pre-reconfigure cost.  A DynPre shard that reconfigures between
+        # estimates must re-price from its new bitstream state.
+        service = services["DynPre"].replicate()
+        probe = WorkloadProfile(
+            name="deep", num_nodes=100_000, num_edges=1_000_000, avg_degree=10.0,
+            batch_size=500, k=5, num_layers=4,
+        )
+        trigger = WorkloadProfile(
+            name="tiny", num_nodes=2_000, num_edges=8_000, avg_degree=4.0,
+            batch_size=16, k=2, num_layers=1,
+        )
+        before = service.estimate_service_seconds(probe)
+        config_before = service.preprocessing.config
+        service.serve(trigger)
+        assert service.preprocessing.config != config_before, (
+            "test needs a workload that actually triggers a reconfiguration"
+        )
+        after = service.estimate_service_seconds(probe)
+        fresh = service.preprocessing.cost_hint(probe) + service.inference_latency(probe)
+        assert after == fresh
+        assert after != before
+
+    def test_estimate_cache_hits_when_state_unchanged(self, services):
+        service = services["CPU"].replicate()
+        w = WorkloadProfile.from_dataset("PH")
+        assert service.estimate_service_seconds(w) == service.estimate_service_seconds(w)
+        assert len(service._cost_cache) == 1
+
     def test_power_platform_defaults(self):
         systems = build_reference_systems()
         assert GNNService(systems["CPU"]).power.preprocessing_platform == "cpu"

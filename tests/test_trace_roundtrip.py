@@ -1,0 +1,127 @@
+"""Trace capture/replay: ``RequestTrace.to_jsonl`` / ``from_jsonl``.
+
+The golden fixture (``tests/golden/request_trace.jsonl``) pins the format:
+overload scenarios captured in one PR must replay byte-identically in later
+ones, so both the serialization *bytes* and the replayed trace *behaviour*
+(serving it produces the same report) are asserted.
+
+Regenerate after an intentional format change with::
+
+    PYTHONPATH=src python tests/test_trace_roundtrip.py --regen
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serving import (
+    BatchScheduler,
+    InferenceRequest,
+    OpenLoopArrivals,
+    RequestTrace,
+    ShardedServiceCluster,
+)
+from repro.system.service import build_services
+from repro.system.workload import WorkloadProfile
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "request_trace.jsonl"
+
+#: The fixed mix the golden trace was generated from (same profiles as the
+#: golden cluster reports, so the two suites pin consistent scenarios).
+GOLDEN_MIX = [
+    WorkloadProfile(name="gold-a", num_nodes=30_000, num_edges=240_000, avg_degree=8.0,
+                    batch_size=600),
+    WorkloadProfile(name="gold-b", num_nodes=90_000, num_edges=990_000, avg_degree=11.0,
+                    batch_size=1200),
+]
+
+
+def _golden_trace() -> RequestTrace:
+    return OpenLoopArrivals(GOLDEN_MIX, rate_rps=300.0, seed=13).trace(12)
+
+
+class TestGoldenFixture:
+    def test_serialization_is_byte_stable(self, tmp_path):
+        captured = _golden_trace().to_jsonl(tmp_path / "trace.jsonl")
+        assert captured.read_text() == GOLDEN_PATH.read_text(), (
+            "trace capture drifted from its golden fixture; if intentional, "
+            "regenerate with `PYTHONPATH=src python tests/test_trace_roundtrip.py --regen`"
+        )
+
+    def test_replay_equals_generated_trace(self):
+        replayed = RequestTrace.from_jsonl(GOLDEN_PATH)
+        assert replayed == _golden_trace()
+
+    def test_replayed_trace_serves_identically(self):
+        services = build_services()
+        scheduler = BatchScheduler(max_batch_size=3, max_wait_seconds=0.004)
+
+        def report(trace):
+            cluster = ShardedServiceCluster(
+                services["StatPre"], num_shards=2, scheduler=scheduler
+            )
+            return json.dumps(cluster.serve_trace(trace).as_dict(), sort_keys=True)
+
+        assert report(RequestTrace.from_jsonl(GOLDEN_PATH)) == report(_golden_trace())
+
+
+class TestRoundTrip:
+    def test_list_built_trace_round_trips(self, tmp_path):
+        # Arbitrary ids and coincident timestamps survive the round trip.
+        w = GOLDEN_MIX[0]
+        trace = RequestTrace(
+            [
+                InferenceRequest(7, 0.5, w),
+                InferenceRequest(3, 0.5, GOLDEN_MIX[1]),
+                InferenceRequest(9, 0.25, w),
+            ]
+        )
+        path = trace.to_jsonl(tmp_path / "trace.jsonl")
+        replayed = RequestTrace.from_jsonl(path)
+        assert replayed == trace
+        assert [r.request_id for r in replayed] == [9, 3, 7]
+
+    def test_double_round_trip_is_stable(self, tmp_path):
+        first = _golden_trace().to_jsonl(tmp_path / "a.jsonl")
+        second = RequestTrace.from_jsonl(first).to_jsonl(tmp_path / "b.jsonl")
+        assert first.read_text() == second.read_text()
+
+    def test_rejects_corrupt_captures(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            RequestTrace.from_jsonl(empty)
+
+        bad_header = tmp_path / "bad_header.jsonl"
+        bad_header.write_text(json.dumps({"kind": "request"}) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            RequestTrace.from_jsonl(bad_header)
+
+        bad_version = tmp_path / "bad_version.jsonl"
+        bad_version.write_text(
+            json.dumps({"kind": "trace", "version": 99, "num_requests": 0,
+                        "num_workloads": 0}) + "\n"
+        )
+        with pytest.raises(ValueError, match="version"):
+            RequestTrace.from_jsonl(bad_version)
+
+        truncated = tmp_path / "truncated.jsonl"
+        lines = GOLDEN_PATH.read_text().splitlines()
+        truncated.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            RequestTrace.from_jsonl(truncated)
+
+
+def regenerate() -> None:
+    path = _golden_trace().to_jsonl(GOLDEN_PATH)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        sys.exit(pytest.main([__file__, "-q"]))
