@@ -34,15 +34,24 @@ if str(_SRC) not in sys.path:
 from repro.analysis.report import format_distribution
 from repro.serving import (
     BatchScheduler,
+    BurstyArrivals,
     OpenLoopArrivals,
     POLICY_LEAST_LOADED,
+    RequestTrace,
     ShardedServiceCluster,
+    merge_traces,
 )
 from repro.system.service import build_services
 from repro.system.workload import WorkloadProfile
 
 #: Output path of the machine-readable results (repo root, tracked by PRs).
 RESULT_PATH = REPO_ROOT / "BENCH_serving_throughput.json"
+
+#: Committed capture replayed every run for cross-PR A/B comparisons: the
+#: trace bytes are fixed in git, so the ``replay`` section of the results
+#: compares system-to-system across PRs on *identical* traffic.  Regenerate
+#: (a deliberate comparability break) with ``--regen-trace``.
+REPLAY_TRACE_PATH = REPO_ROOT / "benchmarks" / "traces" / "serving_replay.jsonl"
 
 #: Workload mix of the trace (small / medium / the paper's tuning dataset).
 TRACE_DATASETS = ("PH", "AX", "MV")
@@ -69,6 +78,55 @@ SEED = 1
 def _trace(num_requests: int):
     mix = [WorkloadProfile.from_dataset(key) for key in TRACE_DATASETS]
     return OpenLoopArrivals(mix, rate_rps=OFFERED_RATE_RPS, seed=SEED).trace(num_requests)
+
+
+def _generate_replay_trace() -> RequestTrace:
+    """The canonical replay capture: 400 bursty requests from three tenants."""
+    mix = [WorkloadProfile.from_dataset(key) for key in TRACE_DATASETS]
+    tenants = (("free", 0.5, 0.0), ("pro", 0.25, 0.2), ("ent", 0.25, 0.35))
+    streams = [
+        BurstyArrivals(
+            mix,
+            base_rate_rps=0.4 * share * OFFERED_RATE_RPS,
+            peak_rate_rps=2.8 * share * OFFERED_RATE_RPS,
+            period_seconds=0.5,
+            burst_fraction=0.25,
+            phase_seconds=phase,
+            tenant=tenant,
+            seed=SEED + i,
+        )
+        for i, (tenant, share, phase) in enumerate(tenants)
+    ]
+    budgets = (200, 100, 100)
+    return merge_traces(
+        [stream.trace(budget) for stream, budget in zip(streams, budgets)]
+    )
+
+
+def _replay_section(services, scheduler) -> Dict:
+    """Serve the committed replay capture on DynPre x1/x4 (cross-PR A/B)."""
+    trace = RequestTrace.from_jsonl(REPLAY_TRACE_PATH)
+    entries = []
+    for num_shards in (1, 4):
+        cluster = ShardedServiceCluster(
+            services["DynPre"],
+            num_shards=num_shards,
+            scheduler=scheduler,
+            policy=POLICY_LEAST_LOADED,
+        )
+        report = cluster.serve_trace(trace)
+        entries.append(_cluster_entry(report))
+        print(
+            f"replay DynPre x{num_shards}: {report.throughput_rps:8.1f} rps | "
+            f"p99 {report.latency.p99 * 1e3:9.1f} ms"
+        )
+    return {
+        "trace_file": str(REPLAY_TRACE_PATH.relative_to(REPO_ROOT)),
+        "num_requests": len(trace),
+        "offered_rate_rps": round(trace.offered_rate_rps, 3),
+        "tenants": trace.tenants(),
+        "results": entries,
+    }
 
 
 def _cluster_entry(report) -> Dict:
@@ -145,6 +203,9 @@ def run(quick: bool = False) -> Dict:
             f"p99 {report.latency.p99 * 1e3:9.1f} ms"
         )
 
+    # -------------------------------- committed-trace replay (cross-PR A/B)
+    replay = _replay_section(services, scheduler)
+
     print("\n" + format_distribution("DynPre sojourn latency by shard count (s)",
                                      stats_by_label))
 
@@ -171,6 +232,7 @@ def run(quick: bool = False) -> Dict:
         "scaling": scaling,
         "speedup_4_vs_1": round(speedup_4_vs_1, 3),
         "systems_4_shards": systems,
+        "replay": replay,
         "wall_clock_seconds": round(time.perf_counter() - started, 4),
     }
     RESULT_PATH.write_text(json.dumps(document, indent=2) + "\n")
@@ -192,7 +254,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick", action="store_true",
         help="shorter trace, skip the 8-shard point (CI mode)",
     )
+    parser.add_argument(
+        "--regen-trace", action="store_true",
+        help="rewrite the committed replay capture (breaks cross-PR "
+             "comparability of the replay section on purpose)",
+    )
     args = parser.parse_args(argv)
+    if args.regen_trace:
+        REPLAY_TRACE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        path = _generate_replay_trace().to_jsonl(REPLAY_TRACE_PATH)
+        print(f"wrote {path}")
+        return 0
     document = run(quick=args.quick)
     if document["speedup_4_vs_1"] < MIN_SPEEDUP_4_VS_1:
         print(

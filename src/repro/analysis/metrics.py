@@ -407,6 +407,84 @@ class GoodputStats:
         }
 
 
+@dataclass
+class TenantStats:
+    """Per-tenant slice of one serving run's accounting.
+
+    Attributes:
+        tenant: tenant name.
+        offered: requests of the tenant that reached the cluster front-end.
+        served: requests of the tenant that completed service.
+        shed: requests of the tenant rejected at admission.
+        slo_met: served requests of the tenant that met their SLO.
+        latency: sojourn-time summary of the tenant's served requests.
+    """
+
+    tenant: str
+    offered: int = 0
+    served: int = 0
+    shed: int = 0
+    slo_met: int = 0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of the tenant's offered requests rejected at admission."""
+        if self.offered <= 0:
+            return 0.0
+        return self.shed / self.offered
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of the tenant's served requests that met their SLO."""
+        if self.served <= 0:
+            return 0.0
+        return self.slo_met / self.served
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary of the per-tenant accounting (for JSON reports)."""
+        return {
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "slo_met": self.slo_met,
+            "slo_attainment": self.slo_attainment,
+            "latency": self.latency.as_dict(),
+        }
+
+
+def attainment_spread(tenant_stats: Iterable[TenantStats]) -> float:
+    """Max-over-min per-tenant SLO attainment — the fairness headline.
+
+    1.0 means every tenant sees the same attainment; large values mean some
+    tenant is starved relative to another.  Tenants that served nothing are
+    scored 0 attainment (they count as maximally starved); returns 0.0 when
+    there are no tenants.
+    """
+    values = [stats.slo_attainment for stats in tenant_stats]
+    if not values:
+        return 0.0
+    worst = min(values)
+    best = max(values)
+    if worst <= 0.0:
+        return math.inf if best > 0.0 else 0.0
+    return best / worst
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of a non-negative allocation (1.0 = equal).
+
+    ``(sum x)^2 / (n * sum x^2)``, the standard [1/n, 1] fairness score;
+    0.0 when the input is empty or all-zero.
+    """
+    values = [max(v, 0.0) for v in values]
+    total = sum(values)
+    if not values or total <= 0:
+        return 0.0
+    return total * total / (len(values) * sum(v * v for v in values))
+
+
 def speedup(baseline: float, candidate: float) -> float:
     """Baseline-over-candidate latency ratio (``>1`` means candidate is faster)."""
     if candidate <= 0:

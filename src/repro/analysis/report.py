@@ -109,6 +109,29 @@ def format_timeline(title: str, events: Sequence[object]) -> str:
     return format_table(title, columns, rows)
 
 
+def format_tenant_table(title: str, tenant_stats: Mapping[str, object]) -> str:
+    """Format per-tenant serving accounting as a table.
+
+    Each value must expose ``offered``/``served``/``shed``/``shed_rate``/
+    ``slo_attainment``/``latency`` attributes (duck-typed against
+    :class:`~repro.analysis.metrics.TenantStats`).
+    """
+    columns = ["tenant", "offered", "served", "shed", "shed_rate", "attainment", "p95_s"]
+    rows = [
+        [
+            tenant,
+            stats.offered,
+            stats.served,
+            stats.shed,
+            stats.shed_rate,
+            stats.slo_attainment,
+            stats.latency.p95,
+        ]
+        for tenant, stats in tenant_stats.items()
+    ]
+    return format_table(title, columns, rows)
+
+
 def print_table(title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
     """Print a formatted table (convenience for benchmark scripts)."""
     print()

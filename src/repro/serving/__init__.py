@@ -3,19 +3,25 @@
 This package lifts the reproduction from single-pass modelling to a served
 traffic regime:
 
-* :mod:`repro.serving.requests` — timestamped requests, the request queue,
-  open/closed-loop arrival generators over workload profiles and the online
-  arrival sources (trace replay, co-simulated closed-loop clients).
+* :mod:`repro.serving.requests` — timestamped, tenant-tagged requests, the
+  request queue, open/closed-loop and burst/diurnal (:class:`BurstyArrivals`)
+  arrival generators over workload profiles, multi-tenant trace merging
+  (:func:`merge_traces`) and the online arrival sources (trace replay,
+  co-simulated closed-loop clients).
 * :mod:`repro.serving.scheduler` — size-or-timeout coalescing of compatible
-  requests into batched preprocessing passes.
+  requests into batched preprocessing passes, with optional weighted-fair
+  (deficit round-robin) slot allocation across tenants
+  (:class:`TenantFairBatcher`).
 * :mod:`repro.serving.cluster` — N-way replicated GNN services with
   round-robin / least-loaded / reconfiguration-state-aware locality dispatch,
   an offline trace-replay loop and an online co-simulated event loop, merged
   into cluster reports (throughput, latency percentiles, queueing
   decomposition, utilisation, goodput/shed accounting).
 * :mod:`repro.serving.control` — the SLO-aware control plane: per-workload
-  latency objectives, predictive admission control / load shedding and a
-  hysteresis queue-depth autoscaler with bitstream warm-up penalties.
+  latency objectives, per-tenant quotas (:class:`TenantQuota`: guaranteed
+  rates, weighted excess shedding, hard caps), predictive / batching-aware
+  admission control and a hysteresis queue-depth autoscaler with bitstream
+  warm-up penalties.
 * :mod:`repro.serving.engine` — the fast serving engine behind
   ``ShardedServiceCluster(engine="fast")`` (the default): serve-transition
   caching, array-level batch formation, shard/deadline heaps and streaming
@@ -24,6 +30,8 @@ traffic regime:
 """
 
 from repro.serving.requests import (
+    DEFAULT_TENANT,
+    BurstyArrivals,
     ClosedLoopArrivals,
     ClosedLoopClients,
     InferenceRequest,
@@ -32,8 +40,9 @@ from repro.serving.requests import (
     RequestTrace,
     TraceArrays,
     TraceArrivals,
+    merge_traces,
 )
-from repro.serving.scheduler import BatchScheduler, RequestBatch
+from repro.serving.scheduler import BatchScheduler, RequestBatch, TenantFairBatcher
 from repro.serving.cluster import (
     DISPATCH_POLICIES,
     ENGINE_FAST,
@@ -56,6 +65,7 @@ from repro.serving.control import (
     ScalingEvent,
     ServingController,
     SLOPolicy,
+    TenantQuota,
 )
 
 __all__ = [
@@ -63,12 +73,17 @@ __all__ = [
     "RequestTrace",
     "TraceArrays",
     "RequestQueue",
+    "DEFAULT_TENANT",
     "OpenLoopArrivals",
     "ClosedLoopArrivals",
     "ClosedLoopClients",
+    "BurstyArrivals",
+    "merge_traces",
     "TraceArrivals",
     "BatchScheduler",
     "RequestBatch",
+    "TenantFairBatcher",
+    "TenantQuota",
     "ShardedServiceCluster",
     "ServedRequest",
     "ShedRecord",

@@ -39,7 +39,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.analysis.metrics import GoodputStats, LatencyStats
+from repro.analysis.metrics import GoodputStats, LatencyStats, TenantStats
 
 if TYPE_CHECKING:  # control.py only imports repro.system.workload — no cycle,
     # but the runtime layering (control on top of cluster) is kept one-way.
@@ -145,6 +145,7 @@ class ReportAggregates:
         service_sum: total service time over served requests.
         slo_met: served requests whose sojourn met their SLO (equals
             ``count`` when the run had no SLO).
+        tenants: per-tenant accounting, keyed (and sorted) by tenant name.
     """
 
     count: int
@@ -154,6 +155,7 @@ class ReportAggregates:
     dispatch_sum: float
     service_sum: float
     slo_met: int
+    tenants: Optional[Dict[str, TenantStats]] = None
 
 
 @dataclass
@@ -255,7 +257,8 @@ class ClusterReport:
             slo_met = sum(
                 1
                 for s in self.served
-                if s.sojourn_seconds <= self.slo.slo_for(s.request.workload)
+                if s.sojourn_seconds
+                <= self.slo.slo_for(s.request.workload, s.request.tenant)
             )
         return GoodputStats(
             offered=self.num_offered,
@@ -304,6 +307,47 @@ class ClusterReport:
         }
 
     @property
+    def tenant_stats(self) -> Dict[str, TenantStats]:
+        """Per-tenant offered/served/shed/SLO accounting, sorted by tenant.
+
+        Single-tenant runs report one ``"default"`` entry; the section is
+        how fairness benchmarks and the property tests observe
+        weighted-shedding and quota conservation per tenant.  Fast-engine
+        reports read the streaming per-tenant aggregates (so the section
+        survives :meth:`compact`); reference reports re-derive it from the
+        per-request records — byte-identically, since both fold sojourns in
+        served order.
+        """
+        if self.aggregates is not None and self.aggregates.tenants is not None:
+            return self.aggregates.tenants
+        sojourns: Dict[str, List[float]] = {}
+        served_count: Dict[str, int] = {}
+        slo_met: Dict[str, int] = {}
+        shed_count: Dict[str, int] = {}
+        for s in self.served:
+            tenant = s.request.tenant
+            sojourns.setdefault(tenant, []).append(s.sojourn_seconds)
+            served_count[tenant] = served_count.get(tenant, 0) + 1
+            if self.slo is None or s.sojourn_seconds <= self.slo.slo_for(
+                s.request.workload, tenant
+            ):
+                slo_met[tenant] = slo_met.get(tenant, 0) + 1
+        for record in self.shed:
+            tenant = record.request.tenant
+            shed_count[tenant] = shed_count.get(tenant, 0) + 1
+        return {
+            tenant: TenantStats(
+                tenant=tenant,
+                offered=served_count.get(tenant, 0) + shed_count.get(tenant, 0),
+                served=served_count.get(tenant, 0),
+                shed=shed_count.get(tenant, 0),
+                slo_met=slo_met.get(tenant, 0),
+                latency=LatencyStats.from_samples(sojourns.get(tenant, [])),
+            )
+            for tenant in sorted(set(served_count) | set(shed_count))
+        }
+
+    @property
     def shard_utilization(self) -> List[float]:
         """Per-shard fraction of the makespan spent serving batches."""
         if self.makespan_seconds <= 0:
@@ -343,6 +387,10 @@ class ClusterReport:
             "shard_utilization": self.shard_utilization,
             "shard_requests": list(self.shard_requests),
             "goodput": self.goodput.as_dict(),
+            "tenants": {
+                tenant: stats.as_dict()
+                for tenant, stats in self.tenant_stats.items()
+            },
             "slo": self.slo.as_dict() if self.slo is not None else None,
             "scaling_timeline": [
                 [event.seconds, event.active_shards, event.reason]
@@ -354,6 +402,34 @@ class ClusterReport:
 def _home_shard(batch: RequestBatch, num_candidates: int) -> int:
     """Stable home slot of a batch's workload key (process-independent)."""
     return zlib.crc32(repr(batch.key).encode("utf-8")) % num_candidates
+
+
+def _admission_estimate(
+    template: GNNService,
+    request: InferenceRequest,
+    admission: "AdmissionController",
+    open_members: Optional[List[InferenceRequest]],
+) -> float:
+    """Service-time estimate the admission prediction charges ``request``.
+
+    The conservative default prices the request as a standalone pass.  With
+    ``admission.batch_aware`` and a compatible batch already forming, the
+    request is priced at its *marginal* merged-batch cost — the merged
+    pass with the request minus the pass already committed to — which is
+    what the batch will actually add to the shard's busy horizon (batched
+    preprocessing amortizes the fixed per-pass work).  Shared by both
+    serving engines so their float arithmetic is identical.
+    """
+    estimate = template.estimate_service_seconds(request.workload)
+    if admission.batch_aware and open_members:
+        base = open_members[0].workload
+        merged = sum(member.workload.batch_size for member in open_members)
+        forming = template.estimate_service_seconds(base.with_batch_size(merged))
+        joined = template.estimate_service_seconds(
+            base.with_batch_size(merged + request.workload.batch_size)
+        )
+        estimate = min(estimate, max(joined - forming, 0.0))
+    return estimate
 
 
 class _LoopState:
@@ -583,6 +659,8 @@ class ShardedServiceCluster:
             return serve_online_fast(self, source, slo, admission, autoscaler)
         self._rr_next = 0
         state = _LoopState(self.num_shards)
+        fair = self.scheduler.fair
+        batcher = self.scheduler.fair_batcher() if fair else None
         open_members: Dict[object, List[InferenceRequest]] = {}
         open_deadline: Dict[object, float] = {}
         inflight: List[float] = []
@@ -598,38 +676,52 @@ class ShardedServiceCluster:
         if autoscaler is not None:
             first_peek = source.peek_time()
             active_count = autoscaler.start(first_peek if first_peek is not None else 0.0)
+        if admission is not None:
+            admission.reset()
         first_arrival: Optional[float] = None
 
-        def close_batch(key: object, ready_seconds: float) -> None:
-            members = open_members.pop(key)
-            open_deadline.pop(key)
-            batch = RequestBatch(requests=members, ready_seconds=ready_seconds)
+        def dispatch_batch(batch: RequestBatch) -> None:
             finish = self._dispatch(batch, state, range(active_count))
-            for request in members:
+            for request in batch.requests:
                 pending_estimates.pop(request.request_id, None)
                 heapq.heappush(inflight, finish)
                 source.on_complete(request, finish)
 
+        def close_batch(key: object, ready_seconds: float) -> None:
+            members = open_members.pop(key)
+            open_deadline.pop(key)
+            dispatch_batch(RequestBatch(requests=members, ready_seconds=ready_seconds))
+
         while True:
             t_arrival = source.peek_time()
-            deadline_key = None
-            if open_deadline:
-                # Ties between expiring batches fire in (deadline, first
-                # request id) order, matching the offline scheduler's
-                # dispatch order.
-                deadline_key = min(
-                    open_deadline,
-                    key=lambda k: (open_deadline[k], open_members[k][0].request_id),
-                )
-            if deadline_key is not None and (
-                t_arrival is None or open_deadline[deadline_key] <= t_arrival
-            ):
-                close_batch(deadline_key, open_deadline[deadline_key])
-                continue
+            if fair:
+                expiring = batcher.peek_deadline()
+                if expiring is not None and (
+                    t_arrival is None or expiring[0] <= t_arrival
+                ):
+                    for batch in batcher.fire_deadline(expiring):
+                        dispatch_batch(batch)
+                    continue
+            else:
+                deadline_key = None
+                if open_deadline:
+                    # Ties between expiring batches fire in (deadline, first
+                    # request id) order, matching the offline scheduler's
+                    # dispatch order.
+                    deadline_key = min(
+                        open_deadline,
+                        key=lambda k: (open_deadline[k], open_members[k][0].request_id),
+                    )
+                if deadline_key is not None and (
+                    t_arrival is None or open_deadline[deadline_key] <= t_arrival
+                ):
+                    close_batch(deadline_key, open_deadline[deadline_key])
+                    continue
             if t_arrival is None:
                 break
             request = source.pop()
             now = request.arrival_seconds
+            key = request.workload.batch_key
             if first_arrival is None:
                 first_arrival = now
             while inflight and inflight[0] <= now:
@@ -637,10 +729,15 @@ class ShardedServiceCluster:
             if autoscaler is not None:
                 while recent_sheds and recent_sheds[0] < now - autoscaler.shed_memory_seconds:
                     recent_sheds.popleft()
+                open_count = (
+                    batcher.pending_count
+                    if fair
+                    else sum(len(members) for members in open_members.values())
+                )
                 queue_depth = (
                     1  # the arriving request itself
                     + len(inflight)
-                    + sum(len(members) for members in open_members.values())
+                    + open_count
                     + len(recent_sheds)
                 )
                 previous = active_count
@@ -659,7 +756,20 @@ class ShardedServiceCluster:
                 backlog = min(
                     max(state.busy_until[i] - now, 0.0) for i in range(active_count)
                 ) + sum(pending_estimates.values()) / active_count
-                estimate = self.template.estimate_service_seconds(request.workload)
+                if fair:
+                    # A request the fair batcher would spill pays a full
+                    # standalone pass, not the marginal increment of a
+                    # batch it will not join.
+                    joinable = (
+                        batcher.open_members(key)
+                        if batcher.can_join(key, request.tenant)
+                        else None
+                    )
+                else:
+                    joinable = open_members.get(key)
+                estimate = _admission_estimate(
+                    self.template, request, admission, joinable
+                )
                 decision = admission.decide(request, now, backlog, estimate)
                 if admission.record_decisions:
                     decisions.append(decision)
@@ -677,7 +787,10 @@ class ShardedServiceCluster:
                     recent_sheds.append(now)
                     source.on_shed(request, now)
                     continue
-            key = request.workload.batch_key
+            if fair:
+                for batch in batcher.add(request, now):
+                    dispatch_batch(batch)
+                continue
             if key not in open_members:
                 open_members[key] = []
                 open_deadline[key] = now + self.scheduler.max_wait_seconds

@@ -4,13 +4,21 @@ The control plane layers three deterministic policies on top of the sharded
 cluster's online event loop (:meth:`~repro.serving.cluster.ShardedServiceCluster.serve_online`):
 
 * :class:`SLOPolicy` — per-workload latency objectives (a default plus
-  per-workload-name overrides).
+  per-workload-name overrides), and — for multi-tenant clusters — per-tenant
+  :class:`TenantQuota`\\ s (guaranteed rate, excess weight, SLO override,
+  hard rate limit) plus an optional shared excess budget.
 * :class:`AdmissionController` — sheds a request at arrival when its
   predicted sojourn (the chosen shard's queued backlog, i.e. queue depth
   times the calibrated per-batch cost, plus the request's own estimated
   service time) would violate the workload's SLO.  Every decision is
   recorded, so the prediction invariant (admit ⇔ predicted ≤ SLO) is
-  testable after the fact.
+  testable after the fact.  With tenant quotas configured the controller is
+  tiered: a hard ``limit_rps`` cap sheds first; traffic within a tenant's
+  ``guaranteed_rps`` token bucket is always admitted (quota conservation —
+  a tenant inside its guarantee is never shed); the remainder rides the
+  SLO prediction, and overloaded *excess* traffic is shed proportionally
+  to each tenant's weighted share of the policy's ``excess_rps`` budget
+  (weighted shedding) instead of first-come-first-served.
 * :class:`Autoscaler` — grows or shrinks the active shard set from observed
   queue depth with hysteresis (several consecutive breaches are required
   before acting) and a warm-up penalty on newly activated shards (an AutoGNN
@@ -31,20 +39,90 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
+from repro.serving.requests import DEFAULT_TENANT
 from repro.system.workload import WorkloadProfile
 
 
 @dataclass(frozen=True)
+class TenantQuota:
+    """Rate/share quota of one tenant on a shared cluster.
+
+    Attributes:
+        guaranteed_rps: request rate the tenant is always entitled to.
+            Traffic within this token bucket is admitted unconditionally —
+            a tenant inside its guarantee is never shed, which is the quota
+            conservation invariant the property tests pin (the operator is
+            responsible for keeping the sum of guarantees within cluster
+            capacity, like any oversubscription-free reservation scheme).
+        weight: share of the policy's ``excess_rps`` budget this tenant gets
+            when the cluster is overloaded (weighted shedding: excess
+            traffic beyond the guarantee is admitted in proportion to
+            weight, everything above that is shed).
+        slo_seconds: per-tenant latency objective; overrides both the
+            per-workload and default SLO when set.
+        limit_rps: hard offered-rate cap; arrivals beyond it are shed even
+            when the cluster is idle (``None`` disables the cap).
+        burst_seconds: token-bucket depth, in seconds of accrual at the
+            bucket's rate — a tenant may burst ``rate * burst_seconds``
+            requests after an idle stretch before its steady rate applies.
+    """
+
+    guaranteed_rps: float = 0.0
+    weight: float = 1.0
+    slo_seconds: Optional[float] = None
+    limit_rps: Optional[float] = None
+    burst_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.guaranteed_rps < 0:
+            raise ValueError("guaranteed_rps must be non-negative")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.slo_seconds is not None and self.slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive")
+        if self.limit_rps is not None and self.limit_rps <= 0:
+            raise ValueError("limit_rps must be positive")
+        if self.burst_seconds <= 0:
+            raise ValueError("burst_seconds must be positive")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return {
+            "guaranteed_rps": self.guaranteed_rps,
+            "weight": self.weight,
+            "slo_seconds": self.slo_seconds,
+            "limit_rps": self.limit_rps,
+            "burst_seconds": self.burst_seconds,
+        }
+
+
+#: Quota applied to tenants without an explicit entry: no guarantee, no cap,
+#: unit weight — exactly the pre-tenancy admission behaviour.
+DEFAULT_TENANT_QUOTA = TenantQuota()
+
+
+@dataclass(frozen=True)
 class SLOPolicy:
-    """Per-workload latency objectives in simulated seconds.
+    """Per-workload latency objectives in simulated seconds, plus the
+    per-tenant quota table of a multi-tenant cluster.
 
     Attributes:
         default_slo_seconds: objective applied to workloads without an override.
         per_workload: overrides keyed by ``WorkloadProfile.name``.
+        per_tenant: :class:`TenantQuota` overrides keyed by tenant name;
+            tenants without an entry get :data:`DEFAULT_TENANT_QUOTA`.
+        excess_rps: operator-granted overflow budget shared by the
+            *quota-listed* tenants' excess (beyond-guarantee) traffic
+            during overload, split proportionally to quota weights
+            (unlisted tenants get no slice — they would otherwise each
+            mint a fresh budget).  0 (the default) sheds all overloaded
+            excess traffic.
     """
 
     default_slo_seconds: float
     per_workload: Mapping[str, float] = field(default_factory=dict)
+    per_tenant: Mapping[str, TenantQuota] = field(default_factory=dict)
+    excess_rps: float = 0.0
 
     def __post_init__(self) -> None:
         if self.default_slo_seconds <= 0:
@@ -52,9 +130,19 @@ class SLOPolicy:
         for name, slo in self.per_workload.items():
             if slo <= 0:
                 raise ValueError(f"SLO for workload {name!r} must be positive")
+        if self.excess_rps < 0:
+            raise ValueError("excess_rps must be non-negative")
 
-    def slo_for(self, workload: WorkloadProfile) -> float:
-        """The latency objective of ``workload``."""
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The quota of ``tenant`` (the permissive default when unlisted)."""
+        return self.per_tenant.get(tenant, DEFAULT_TENANT_QUOTA)
+
+    def slo_for(self, workload: WorkloadProfile, tenant: Optional[str] = None) -> float:
+        """The latency objective of ``workload`` (tenant override wins)."""
+        if tenant is not None:
+            quota = self.per_tenant.get(tenant)
+            if quota is not None and quota.slo_seconds is not None:
+                return quota.slo_seconds
         return self.per_workload.get(workload.name, self.default_slo_seconds)
 
     def as_dict(self) -> Dict[str, object]:
@@ -62,6 +150,10 @@ class SLOPolicy:
         return {
             "default_slo_seconds": self.default_slo_seconds,
             "per_workload": {k: self.per_workload[k] for k in sorted(self.per_workload)},
+            "per_tenant": {
+                k: self.per_tenant[k].as_dict() for k in sorted(self.per_tenant)
+            },
+            "excess_rps": self.excess_rps,
         }
 
 
@@ -75,6 +167,12 @@ class AdmissionDecision:
         predicted_sojourn: backlog + estimated service time at that instant.
         slo_seconds: the workload's latency objective.
         admitted: whether the request entered the cluster.
+        tenant: the requesting tenant.
+        reason: which admission tier produced the verdict — ``"predicted"``
+            / ``"overload"`` for the SLO prediction (the only tier of a
+            quota-free policy), ``"guaranteed"`` for the tenant's guaranteed
+            token bucket, ``"weighted-excess"`` for the shared overflow
+            budget and ``"rate-limit"`` for the hard per-tenant cap.
     """
 
     request_id: int
@@ -82,26 +180,115 @@ class AdmissionDecision:
     predicted_sojourn: float
     slo_seconds: float
     admitted: bool
+    tenant: str = DEFAULT_TENANT
+    reason: str = "predicted"
+
+
+class _TokenBucket:
+    """Deterministic token bucket (simulated time, no wall clock).
+
+    Starts full, so a tenant gets its burst allowance immediately; refills
+    continuously at ``rate`` tokens per simulated second up to ``capacity``.
+    """
+
+    __slots__ = ("rate", "capacity", "tokens", "last_seconds")
+
+    def __init__(self, rate: float, capacity: float, now_seconds: float) -> None:
+        self.rate = rate
+        self.capacity = capacity
+        self.tokens = capacity
+        self.last_seconds = now_seconds
+
+    def take(self, now_seconds: float) -> bool:
+        """Consume one token if available at ``now_seconds``."""
+        elapsed = now_seconds - self.last_seconds
+        if elapsed > 0:
+            self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+            self.last_seconds = now_seconds
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
 
 
 class AdmissionController:
-    """Predictive admission control against an :class:`SLOPolicy`.
+    """Predictive, tenant-aware admission control against an :class:`SLOPolicy`.
 
-    A request is admitted iff its predicted sojourn — the backlog of the
-    least-loaded active shard (queue depth × calibrated per-batch cost, as
-    accumulated in the shard's busy horizon) plus the request's own
-    estimated service seconds — does not exceed its workload's SLO.  The
-    controller is stateless apart from the decision log, which
-    ``record_decisions=False`` disables for memory-bounded 100k-request
-    runs — both the controller's log and the serving loops'
-    ``ClusterReport.decisions`` honour the flag (verdicts are unchanged;
-    only the logs are skipped).
+    Without tenant quotas a request is admitted iff its predicted sojourn —
+    the backlog of the least-loaded active shard (queue depth × calibrated
+    per-batch cost, as accumulated in the shard's busy horizon) plus the
+    request's own estimated service seconds — does not exceed its SLO.
+
+    With quotas (``policy.per_tenant``) the verdict is tiered, in order:
+
+    1. **rate limit** — a tenant above its hard ``limit_rps`` cap is shed
+       regardless of load;
+    2. **guaranteed** — traffic within the tenant's ``guaranteed_rps``
+       token bucket is admitted unconditionally (a tenant inside its
+       guarantee is never shed);
+    3. **prediction** — remaining traffic is admitted when the predicted
+       sojourn meets the (tenant-aware) SLO;
+    4. **weighted excess** — overloaded excess traffic draws on the
+       policy's shared ``excess_rps`` budget in proportion to quota
+       weights; what the budget cannot cover is shed.  With the default
+       budget of 0 every overloaded excess request is shed, which makes
+       per-tenant shed counts proportional to each tenant's excess over its
+       guarantee — weighted shedding instead of arrival-order shedding.
+
+    All tiers are pure simulated-time bookkeeping on the arrival sequence,
+    so both serving engines drive identical decisions.  The decision log
+    can be disabled (``record_decisions=False``) for memory-bounded
+    100k-request runs — verdicts are unaffected.
+
+    ``batch_aware=True`` opts into batching-aware admission: the serving
+    loops then predict with the *marginal* cost of joining the batch
+    already forming for the request's compatibility key (merged-batch cost
+    minus the forming batch's cost) instead of the conservative standalone
+    per-request estimate.  The controller itself only carries the flag; the
+    loops own the estimate because only they see the open batches.
     """
 
-    def __init__(self, policy: SLOPolicy, record_decisions: bool = True) -> None:
+    def __init__(
+        self,
+        policy: SLOPolicy,
+        record_decisions: bool = True,
+        batch_aware: bool = False,
+    ) -> None:
         self.policy = policy
         self.record_decisions = record_decisions
+        self.batch_aware = batch_aware
         self.decisions: List[AdmissionDecision] = []
+        self._guaranteed: Dict[str, Optional[_TokenBucket]] = {}
+        self._limits: Dict[str, Optional[_TokenBucket]] = {}
+        self._excess: Dict[str, Optional[_TokenBucket]] = {}
+        weights = [quota.weight for quota in policy.per_tenant.values()]
+        self._total_weight = sum(weights) if weights else 1.0
+
+    def reset(self) -> None:
+        """Drop all token-bucket state (start of a serving run).
+
+        Both serving engines call this when a run begins, mirroring
+        ``Autoscaler.start``: simulated clocks restart at every run, so
+        buckets anchored to a previous run's timeline must not leak into
+        the next one (a depleted guarantee would otherwise shed
+        within-guarantee traffic and break quota conservation).  The
+        decision log is an audit trail and is deliberately kept.
+        """
+        self._guaranteed.clear()
+        self._limits.clear()
+        self._excess.clear()
+
+    def _bucket(
+        self, table: Dict[str, Optional[_TokenBucket]], tenant: str,
+        rate: Optional[float], burst_seconds: float, now_seconds: float,
+    ) -> Optional[_TokenBucket]:
+        if tenant not in table:
+            if rate is None or rate <= 0:
+                table[tenant] = None
+            else:
+                capacity = max(1.0, rate * burst_seconds)
+                table[tenant] = _TokenBucket(rate, capacity, now_seconds)
+        return table[tenant]
 
     def decide(
         self,
@@ -112,13 +299,46 @@ class AdmissionController:
     ) -> AdmissionDecision:
         """Admit or shed ``request`` given the cluster's current backlog."""
         predicted = max(backlog_seconds, 0.0) + max(service_estimate_seconds, 0.0)
-        slo = self.policy.slo_for(request.workload)
+        tenant = request.tenant
+        slo = self.policy.slo_for(request.workload, tenant)
+        quota = self.policy.quota_for(tenant)
+        limit = self._bucket(
+            self._limits, tenant, quota.limit_rps, quota.burst_seconds, now_seconds
+        )
+        guaranteed = self._bucket(
+            self._guaranteed, tenant, quota.guaranteed_rps, quota.burst_seconds,
+            now_seconds,
+        )
+        if limit is not None and not limit.take(now_seconds):
+            admitted, reason = False, "rate-limit"
+        elif guaranteed is not None and guaranteed.take(now_seconds):
+            admitted, reason = True, "guaranteed"
+        elif predicted <= slo:
+            admitted, reason = True, "predicted"
+        else:
+            # Only quota-listed tenants share the excess budget: an unlisted
+            # tenant minting its own weight-1 slice would oversubscribe the
+            # "shared" excess_rps by a full budget per tenant.
+            excess_rate = None
+            if self.policy.excess_rps > 0 and tenant in self.policy.per_tenant:
+                excess_rate = (
+                    self.policy.excess_rps * quota.weight / self._total_weight
+                )
+            excess = self._bucket(
+                self._excess, tenant, excess_rate, quota.burst_seconds, now_seconds
+            )
+            if excess is not None and excess.take(now_seconds):
+                admitted, reason = True, "weighted-excess"
+            else:
+                admitted, reason = False, "overload"
         decision = AdmissionDecision(
             request_id=request.request_id,
             seconds=now_seconds,
             predicted_sojourn=predicted,
             slo_seconds=slo,
-            admitted=predicted <= slo,
+            admitted=admitted,
+            tenant=tenant,
+            reason=reason,
         )
         if self.record_decisions:
             self.decisions.append(decision)
@@ -256,6 +476,7 @@ class ServingController:
         slo: Optional[SLOPolicy] = None,
         autoscaler: Optional[Autoscaler] = None,
         record_decisions: bool = True,
+        batch_aware: bool = False,
     ) -> None:
         if autoscaler is not None and autoscaler.max_shards > cluster.num_shards:
             raise ValueError(
@@ -266,7 +487,9 @@ class ServingController:
         self.slo = slo
         self.autoscaler = autoscaler
         self.admission = (
-            AdmissionController(slo, record_decisions=record_decisions)
+            AdmissionController(
+                slo, record_decisions=record_decisions, batch_aware=batch_aware
+            )
             if slo is not None
             else None
         )

@@ -105,9 +105,9 @@ class _RunAccumulator:
     """Streaming per-request aggregates of one engine run.
 
     Accumulation order matches the reference report properties exactly
-    (served order, left-fold sums), which is what makes the resulting
-    :class:`~repro.serving.cluster.ReportAggregates` bit-identical to
-    re-deriving the values from the per-request records.
+    (served order, left-fold sums) — per tenant too — which is what makes
+    the resulting :class:`~repro.serving.cluster.ReportAggregates`
+    bit-identical to re-deriving the values from the per-request records.
     """
 
     __slots__ = (
@@ -117,6 +117,10 @@ class _RunAccumulator:
         "service_sum",
         "slo_met",
         "slo",
+        "tenant_latency",
+        "tenant_served",
+        "tenant_slo_met",
+        "tenant_shed",
     )
 
     def __init__(self, slo: Optional["SLOPolicy"]) -> None:
@@ -128,6 +132,10 @@ class _RunAccumulator:
         self.service_sum = 0.0
         self.slo_met = 0
         self.slo = slo
+        self.tenant_latency: Dict[str, StreamingLatencyStats] = {}
+        self.tenant_served: Dict[str, int] = {}
+        self.tenant_slo_met: Dict[str, int] = {}
+        self.tenant_shed: Dict[str, int] = {}
 
     def push(
         self,
@@ -141,12 +149,40 @@ class _RunAccumulator:
         self.batching_sum += batching_delay
         self.dispatch_sum += dispatch_delay
         self.service_sum += service_seconds
-        if self.slo is not None and sojourn <= self.slo.slo_for(request.workload):
-            self.slo_met += 1
+        tenant = request.tenant
+        per_tenant = self.tenant_latency.get(tenant)
+        if per_tenant is None:
+            per_tenant = StreamingLatencyStats(track_approx=False)
+            self.tenant_latency[tenant] = per_tenant
+        per_tenant.push(sojourn)
+        self.tenant_served[tenant] = self.tenant_served.get(tenant, 0) + 1
+        if self.slo is None or sojourn <= self.slo.slo_for(request.workload, tenant):
+            if self.slo is not None:
+                self.slo_met += 1
+            self.tenant_slo_met[tenant] = self.tenant_slo_met.get(tenant, 0) + 1
+
+    def push_shed(self, request: InferenceRequest) -> None:
+        tenant = request.tenant
+        self.tenant_shed[tenant] = self.tenant_shed.get(tenant, 0) + 1
 
     def aggregates(self, count: int, shed_count: int):
         from repro.serving.cluster import ReportAggregates
 
+        from repro.analysis.metrics import LatencyStats, TenantStats
+
+        tenants = {}
+        for tenant in sorted(set(self.tenant_served) | set(self.tenant_shed)):
+            served = self.tenant_served.get(tenant, 0)
+            shed = self.tenant_shed.get(tenant, 0)
+            latency = self.tenant_latency.get(tenant)
+            tenants[tenant] = TenantStats(
+                tenant=tenant,
+                offered=served + shed,
+                served=served,
+                shed=shed,
+                slo_met=self.tenant_slo_met.get(tenant, 0),
+                latency=latency.stats() if latency is not None else LatencyStats(),
+            )
         return ReportAggregates(
             count=count,
             shed_count=shed_count,
@@ -155,6 +191,7 @@ class _RunAccumulator:
             dispatch_sum=self.dispatch_sum,
             service_sum=self.service_sum,
             slo_met=self.slo_met if self.slo is not None else count,
+            tenants=tenants,
         )
 
 
@@ -318,7 +355,12 @@ def serve_online_fast(
     open-request counter feeding the autoscaler, the shard heap behind
     dispatch and admission-backlog reads, and the serve-transition cache.
     """
-    from repro.serving.cluster import ClusterReport, ServedRequest, ShedRecord
+    from repro.serving.cluster import (
+        ClusterReport,
+        ServedRequest,
+        ShedRecord,
+        _admission_estimate,
+    )
 
     cluster._rr_next = 0
     num_shards = cluster.num_shards
@@ -331,6 +373,9 @@ def serve_online_fast(
     last_finish = 0.0
     num_batches = 0
 
+    scheduler = cluster.scheduler
+    fair = scheduler.fair
+    batcher = scheduler.fair_batcher() if fair else None
     open_members: Dict[object, List[InferenceRequest]] = {}
     open_deadline: Dict[object, float] = {}
     open_count = 0
@@ -344,15 +389,14 @@ def serve_online_fast(
     if autoscaler is not None:
         first_peek = source.peek_time()
         active_count = autoscaler.start(first_peek if first_peek is not None else 0.0)
+    if admission is not None:
+        admission.reset()
     first_arrival: Optional[float] = None
-    scheduler = cluster.scheduler
 
-    def close_batch(key: object, ready_seconds: float) -> None:
-        nonlocal open_count, last_finish, num_batches
-        members = open_members.pop(key)
-        open_deadline.pop(key)
-        open_count -= len(members)
-        batch = RequestBatch(requests=members, ready_seconds=ready_seconds)
+    def dispatch_batch(batch: RequestBatch) -> None:
+        nonlocal last_finish, num_batches
+        members = batch.requests
+        ready_seconds = batch.ready_seconds
         workload = _merged_workload(batch, merged_cache)
         shard_id = _pick_shard(cluster, heap, batch, workload, active_count)
         start = max(ready_seconds, heap.busy[shard_id])
@@ -384,6 +428,13 @@ def serve_online_fast(
             heapq.heappush(inflight, finish)
             source.on_complete(request, finish)
 
+    def close_batch(key: object, ready_seconds: float) -> None:
+        nonlocal open_count
+        members = open_members.pop(key)
+        open_deadline.pop(key)
+        open_count -= len(members)
+        dispatch_batch(RequestBatch(requests=members, ready_seconds=ready_seconds))
+
     def next_deadline() -> Optional[tuple]:
         """Valid top of the deadline heap: (deadline, first request id, key)."""
         while deadline_heap:
@@ -400,15 +451,23 @@ def serve_online_fast(
 
     while True:
         t_arrival = source.peek_time()
-        expiring = next_deadline()
-        if expiring is not None and (t_arrival is None or expiring[0] <= t_arrival):
-            heapq.heappop(deadline_heap)
-            close_batch(expiring[2], expiring[0])
-            continue
+        if fair:
+            expiring = batcher.peek_deadline()
+            if expiring is not None and (t_arrival is None or expiring[0] <= t_arrival):
+                for batch in batcher.fire_deadline(expiring):
+                    dispatch_batch(batch)
+                continue
+        else:
+            expiring = next_deadline()
+            if expiring is not None and (t_arrival is None or expiring[0] <= t_arrival):
+                heapq.heappop(deadline_heap)
+                close_batch(expiring[2], expiring[0])
+                continue
         if t_arrival is None:
             break
         request = source.pop()
         now = request.arrival_seconds
+        key = request.workload.batch_key
         if first_arrival is None:
             first_arrival = now
         while inflight and inflight[0] <= now:
@@ -416,7 +475,8 @@ def serve_online_fast(
         if autoscaler is not None:
             while recent_sheds and recent_sheds[0] < now - autoscaler.shed_memory_seconds:
                 recent_sheds.popleft()
-            queue_depth = 1 + len(inflight) + open_count + len(recent_sheds)
+            pending = batcher.pending_count if fair else open_count
+            queue_depth = 1 + len(inflight) + pending + len(recent_sheds)
             previous = active_count
             active_count = autoscaler.observe(now, queue_depth)
             for shard_id in range(previous, active_count):
@@ -432,7 +492,17 @@ def serve_online_fast(
             backlog = max(heap.min_busy(active_count) - now, 0.0) + sum(
                 pending_estimates.values()
             ) / active_count
-            estimate = cluster.template.estimate_service_seconds(request.workload)
+            if fair:
+                # Mirror the reference loop: spill-bound requests pay a
+                # full standalone pass, not the marginal increment.
+                joinable = (
+                    batcher.open_members(key)
+                    if batcher.can_join(key, request.tenant)
+                    else None
+                )
+            else:
+                joinable = open_members.get(key)
+            estimate = _admission_estimate(cluster.template, request, admission, joinable)
             decision = admission.decide(request, now, backlog, estimate)
             if admission.record_decisions:
                 decisions.append(decision)
@@ -447,10 +517,14 @@ def serve_online_fast(
                         slo_seconds=decision.slo_seconds,
                     )
                 )
+                accumulator.push_shed(request)
                 recent_sheds.append(now)
                 source.on_shed(request, now)
                 continue
-        key = request.workload.batch_key
+        if fair:
+            for batch in batcher.add(request, now):
+                dispatch_batch(batch)
+            continue
         members = open_members.get(key)
         if members is None:
             members = []

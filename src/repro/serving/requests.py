@@ -33,8 +33,16 @@ from repro.system.workload import WorkloadProfile
 #: Supported open-loop inter-arrival processes.
 ARRIVAL_PROCESSES = ("poisson", "uniform")
 
-#: Version tag of the JSONL trace capture/replay format.
-TRACE_FORMAT_VERSION = 1
+#: Version tag of the JSONL trace capture/replay format.  Version 2 added
+#: tenant identities (a ``num_tenants`` header count, one ``tenant`` record
+#: per distinct tenant and a ``tenant`` pool index on every request record);
+#: version-1 captures still load, with every request assigned
+#: :data:`DEFAULT_TENANT`.
+TRACE_FORMAT_VERSION = 2
+
+#: Tenant assigned to requests that carry no explicit tenant identity
+#: (single-tenant traces, pre-tenancy captures).
+DEFAULT_TENANT = "default"
 
 
 @dataclass(frozen=True)
@@ -45,11 +53,15 @@ class InferenceRequest:
         request_id: unique, monotonically increasing identifier within a trace.
         arrival_seconds: simulated arrival time of the request.
         workload: the workload profile the request asks the service to run.
+        tenant: identity of the tenant the request belongs to.  Tenants share
+            one cluster; quotas, weighted shedding and fair batching key on
+            this field (see :mod:`repro.serving.control`).
     """
 
     request_id: int
     arrival_seconds: float
     workload: WorkloadProfile
+    tenant: str = DEFAULT_TENANT
 
 
 class TraceArrays(NamedTuple):
@@ -60,12 +72,16 @@ class TraceArrays(NamedTuple):
         workload_index: per-request index into ``workload_pool``.
         workload_pool: the distinct workload profiles of the trace.
         request_ids: per-request identifiers, aligned with the arrays.
+        tenant_index: per-request index into ``tenant_pool``.
+        tenant_pool: the distinct tenant names of the trace.
     """
 
     arrival_seconds: np.ndarray
     workload_index: np.ndarray
     workload_pool: List[WorkloadProfile]
     request_ids: np.ndarray
+    tenant_index: np.ndarray
+    tenant_pool: List[str]
 
 
 class RequestTrace:
@@ -97,6 +113,8 @@ class RequestTrace:
         workload_pool: Sequence[WorkloadProfile],
         workload_index: np.ndarray,
         request_ids: Optional[np.ndarray] = None,
+        tenant_pool: Optional[Sequence[str]] = None,
+        tenant_index: Optional[np.ndarray] = None,
     ) -> "RequestTrace":
         """Build a trace from parallel arrays without materializing objects.
 
@@ -104,6 +122,8 @@ class RequestTrace:
         exactly the ids the object-based constructor would produce for a
         generator that emits requests in issue order.  Rows are stably
         sorted by ``(arrival_seconds, request_id)`` like the list path.
+        ``tenant_pool``/``tenant_index`` default to every request belonging
+        to :data:`DEFAULT_TENANT`.
         """
         arrivals = np.asarray(arrival_seconds, dtype=np.float64)
         index = np.asarray(workload_index, dtype=np.int64)
@@ -118,12 +138,27 @@ class RequestTrace:
             ids = np.asarray(request_ids, dtype=np.int64)
             if ids.shape != arrivals.shape:
                 raise ValueError("request_ids must parallel arrival_seconds")
+        if tenant_pool is None and tenant_index is None:
+            tenants = [DEFAULT_TENANT]
+            tenant_idx = np.zeros(len(arrivals), dtype=np.int64)
+        else:
+            if tenant_pool is None or tenant_index is None:
+                raise ValueError("tenant_pool and tenant_index must be given together")
+            tenants = list(tenant_pool)
+            tenant_idx = np.asarray(tenant_index, dtype=np.int64)
+            if tenant_idx.shape != arrivals.shape:
+                raise ValueError("tenant_index must parallel arrival_seconds")
+            if len(tenant_idx) and (
+                tenant_idx.min() < 0 or tenant_idx.max() >= len(tenants)
+            ):
+                raise ValueError("tenant_index out of range for the tenant pool")
         order = np.lexsort((ids, arrivals))
         if not np.array_equal(order, np.arange(len(order))):
             arrivals, index, ids = arrivals[order], index[order], ids[order]
+            tenant_idx = tenant_idx[order]
         trace = cls.__new__(cls)
         trace._requests = None
-        trace._arrays = TraceArrays(arrivals, index, pool, ids)
+        trace._arrays = TraceArrays(arrivals, index, pool, ids, tenant_idx, tenants)
         return trace
 
     # ----------------------------------------------------------- object view
@@ -131,12 +166,15 @@ class RequestTrace:
     def requests(self) -> List[InferenceRequest]:
         """The request objects in arrival order (materialized on demand)."""
         if self._requests is None:
-            arrivals, index, pool, ids = self._arrays
+            arrivals, index, pool, ids, tenant_idx, tenants = self._arrays
             self._requests = [
                 InferenceRequest(
-                    request_id=rid, arrival_seconds=t, workload=pool[w]
+                    request_id=rid, arrival_seconds=t, workload=pool[w],
+                    tenant=tenants[tn],
                 )
-                for rid, t, w in zip(ids.tolist(), arrivals.tolist(), index.tolist())
+                for rid, t, w, tn in zip(
+                    ids.tolist(), arrivals.tolist(), index.tolist(), tenant_idx.tolist()
+                )
             ]
         return self._requests
 
@@ -166,19 +204,30 @@ class RequestTrace:
             requests = self._requests
             pool: List[WorkloadProfile] = []
             slot_of = {}
+            tenants: List[str] = []
+            tenant_slot_of = {}
             index = np.empty(len(requests), dtype=np.int64)
             arrivals = np.empty(len(requests), dtype=np.float64)
             ids = np.empty(len(requests), dtype=np.int64)
+            tenant_idx = np.empty(len(requests), dtype=np.int64)
             for i, request in enumerate(requests):
                 slot = slot_of.get(request.workload)
                 if slot is None:
                     slot = len(pool)
                     slot_of[request.workload] = slot
                     pool.append(request.workload)
+                tslot = tenant_slot_of.get(request.tenant)
+                if tslot is None:
+                    tslot = len(tenants)
+                    tenant_slot_of[request.tenant] = tslot
+                    tenants.append(request.tenant)
                 index[i] = slot
                 arrivals[i] = request.arrival_seconds
                 ids[i] = request.request_id
-            self._arrays = TraceArrays(arrivals, index, pool, ids)
+                tenant_idx[i] = tslot
+            if not tenants:
+                tenants = [DEFAULT_TENANT]
+            self._arrays = TraceArrays(arrivals, index, pool, ids, tenant_idx, tenants)
         return self._arrays
 
     # ------------------------------------------------------------ aggregates
@@ -206,17 +255,26 @@ class RequestTrace:
             return [pool[w] for w in self._arrays.workload_index.tolist()]
         return [request.workload for request in self._requests]
 
+    def tenants(self) -> List[str]:
+        """The distinct tenant names of the trace, in tenant-pool order."""
+        arrays = self.arrays()
+        if not len(arrays.tenant_index):
+            return []
+        seen = sorted(set(arrays.tenant_index.tolist()))
+        return [arrays.tenant_pool[slot] for slot in seen]
+
     # -------------------------------------------------------- capture/replay
     def to_jsonl(self, path: Union[str, Path]) -> Path:
         """Capture the trace to a JSONL file (see :meth:`from_jsonl`).
 
         Line 1 is a header, followed by one line per distinct workload
-        profile and one line per request (ids, timestamps and the workload
-        pool index).  Keys are sorted, so the capture of a deterministic
-        trace is byte-stable — overload scenarios serialized in one PR can
-        be replayed and diffed system-to-system in later ones.
+        profile, one line per distinct tenant and one line per request (ids,
+        timestamps, the workload pool index and the tenant pool index).
+        Keys are sorted, so the capture of a deterministic trace is
+        byte-stable — overload scenarios serialized in one PR can be
+        replayed and diffed system-to-system in later ones.
         """
-        arrivals, index, pool, ids = self.arrays()
+        arrivals, index, pool, ids, tenant_idx, tenants = self.arrays()
         lines = [
             json.dumps(
                 {
@@ -224,6 +282,7 @@ class RequestTrace:
                     "version": TRACE_FORMAT_VERSION,
                     "num_requests": len(self),
                     "num_workloads": len(pool),
+                    "num_tenants": len(tenants),
                 },
                 sort_keys=True,
             )
@@ -235,10 +294,25 @@ class RequestTrace:
                     sort_keys=True,
                 )
             )
-        for rid, t, w in zip(ids.tolist(), arrivals.tolist(), index.tolist()):
+        for slot, tenant in enumerate(tenants):
             lines.append(
                 json.dumps(
-                    {"kind": "request", "id": rid, "arrival_seconds": t, "workload": w},
+                    {"kind": "tenant", "index": slot, "name": tenant},
+                    sort_keys=True,
+                )
+            )
+        for rid, t, w, tn in zip(
+            ids.tolist(), arrivals.tolist(), index.tolist(), tenant_idx.tolist()
+        ):
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "request",
+                        "id": rid,
+                        "arrival_seconds": t,
+                        "workload": w,
+                        "tenant": tn,
+                    },
                     sort_keys=True,
                 )
             )
@@ -252,7 +326,9 @@ class RequestTrace:
 
         Round-trip exact: JSON serializes floats via ``repr`` (shortest
         round-trip), so replayed arrival timestamps, ids and workload
-        profiles compare equal to the captured trace's.
+        profiles compare equal to the captured trace's.  Version-1 captures
+        (pre-tenancy) still load; their requests all belong to
+        :data:`DEFAULT_TENANT`.
         """
         lines = Path(path).read_text().splitlines()
         if not lines:
@@ -260,28 +336,38 @@ class RequestTrace:
         header = json.loads(lines[0])
         if header.get("kind") != "trace":
             raise ValueError(f"not a trace capture (bad header): {path}")
-        if header.get("version") != TRACE_FORMAT_VERSION:
+        version = header.get("version")
+        if version not in (1, TRACE_FORMAT_VERSION):
             raise ValueError(
-                f"unsupported trace format version {header.get('version')!r} "
-                f"(expected {TRACE_FORMAT_VERSION})"
+                f"unsupported trace format version {version!r} "
+                f"(expected 1..{TRACE_FORMAT_VERSION})"
             )
         pool: List[Optional[WorkloadProfile]] = [None] * header["num_workloads"]
+        tenants: List[Optional[str]] = [None] * header.get("num_tenants", 0)
         ids: List[int] = []
         arrivals: List[float] = []
         index: List[int] = []
+        tenant_index: List[int] = []
         for line in lines[1:]:
             record = json.loads(line)
             kind = record["kind"]
             if kind == "workload":
                 pool[record["index"]] = WorkloadProfile(**record["profile"])
+            elif kind == "tenant":
+                tenants[record["index"]] = record["name"]
             elif kind == "request":
                 ids.append(record["id"])
                 arrivals.append(record["arrival_seconds"])
                 index.append(record["workload"])
+                tenant_index.append(record.get("tenant", 0))
             else:
                 raise ValueError(f"unknown record kind {kind!r} in {path}")
         if any(workload is None for workload in pool):
             raise ValueError(f"trace capture is missing workload records: {path}")
+        if any(tenant is None for tenant in tenants):
+            raise ValueError(f"trace capture is missing tenant records: {path}")
+        if not tenants:
+            tenants = [DEFAULT_TENANT]
         if len(ids) != header["num_requests"]:
             raise ValueError(
                 f"trace capture truncated: header says {header['num_requests']} "
@@ -292,6 +378,8 @@ class RequestTrace:
             pool,
             np.asarray(index, dtype=np.int64),
             request_ids=np.asarray(ids, dtype=np.int64),
+            tenant_pool=tenants,
+            tenant_index=np.asarray(tenant_index, dtype=np.int64),
         )
 
 
@@ -375,12 +463,14 @@ class OpenLoopArrivals:
         process: ``"poisson"`` for exponential inter-arrival gaps or
             ``"uniform"`` for a fixed gap of ``1 / rate_rps``.
         seed: RNG seed for both gaps and workload picks.
+        tenant: tenant identity stamped on every generated request.
     """
 
     workloads: Sequence[WorkloadProfile]
     rate_rps: float
     process: str = "poisson"
     seed: int = 0
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if self.rate_rps <= 0:
@@ -406,7 +496,13 @@ class OpenLoopArrivals:
             gaps = np.full(num_requests, 1.0 / self.rate_rps)
         arrivals = np.cumsum(gaps)
         picks = _workload_picks(self.workloads, rng, num_requests)
-        return RequestTrace.from_arrays(arrivals, list(self.workloads), picks)
+        return RequestTrace.from_arrays(
+            arrivals,
+            list(self.workloads),
+            picks,
+            tenant_pool=[self.tenant],
+            tenant_index=np.zeros(num_requests, dtype=np.int64),
+        )
 
 
 @dataclass
@@ -427,6 +523,7 @@ class ClosedLoopArrivals:
             request of the same client.
         service_time_fn: estimated service latency of one workload (seconds).
         seed: RNG seed for workload picks.
+        tenant: tenant identity stamped on every generated request.
     """
 
     workloads: Sequence[WorkloadProfile]
@@ -434,6 +531,7 @@ class ClosedLoopArrivals:
     think_seconds: float = 0.0
     service_time_fn: Optional[Callable[[WorkloadProfile], float]] = None
     seed: int = 0
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
@@ -459,7 +557,13 @@ class ClosedLoopArrivals:
             arrivals[i] = issue_at
             done_estimate = issue_at + max(estimate(pool[pick]), 0.0)
             heapq.heappush(clients, (done_estimate + self.think_seconds, client))
-        return RequestTrace.from_arrays(arrivals, pool, picks)
+        return RequestTrace.from_arrays(
+            arrivals,
+            pool,
+            picks,
+            tenant_pool=[self.tenant],
+            tenant_index=np.zeros(num_requests, dtype=np.int64),
+        )
 
     def co_simulated(
         self, max_requests: int, retry_backoff_seconds: float = 0.0
@@ -478,7 +582,160 @@ class ClosedLoopArrivals:
             seed=self.seed,
             max_requests=max_requests,
             retry_backoff_seconds=retry_backoff_seconds,
+            tenant=self.tenant,
         )
+
+
+@dataclass
+class BurstyArrivals:
+    """Burst/diurnal open-loop traffic: a piecewise-constant-rate Poisson
+    process that alternates between a base rate and a peak (burst) rate.
+
+    The rate envelope is periodic: within every ``period_seconds`` window
+    the first ``burst_fraction`` of the period (after the tenant's
+    ``phase_seconds`` offset) runs at ``peak_rate_rps`` and the remainder at
+    ``base_rate_rps``.  Arrivals are generated by thinning a homogeneous
+    Poisson process at the peak rate (exact for piecewise-constant
+    envelopes), so traces are fully deterministic under a seed.
+
+    Per-tenant phase offsets let a multi-tenant scenario stagger its bursts
+    (one tenant spikes while the others idle — the regime that stresses
+    fairness); build one generator per tenant and combine the traces with
+    :func:`merge_traces`.
+
+    Attributes:
+        workloads: the workload mix requests are drawn from (uniformly).
+        base_rate_rps: offered load outside bursts (> 0).
+        peak_rate_rps: offered load during bursts (>= ``base_rate_rps``).
+        period_seconds: length of one envelope period (> 0).
+        burst_fraction: fraction of each period spent at the peak rate
+            (0 <= f <= 1).
+        phase_seconds: offset of this stream's envelope (a tenant whose
+            phase is ``p`` bursts during ``[k*period + p, k*period + p +
+            burst_fraction*period)``).
+        tenant: tenant identity stamped on every generated request.
+        seed: RNG seed for gaps, thinning and workload picks.
+    """
+
+    workloads: Sequence[WorkloadProfile]
+    base_rate_rps: float
+    peak_rate_rps: float
+    period_seconds: float
+    burst_fraction: float = 0.25
+    phase_seconds: float = 0.0
+    tenant: str = DEFAULT_TENANT
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_rate_rps <= 0:
+            raise ValueError("base_rate_rps must be positive")
+        if self.peak_rate_rps < self.base_rate_rps:
+            raise ValueError("peak_rate_rps must be >= base_rate_rps")
+        if self.period_seconds <= 0:
+            raise ValueError("period_seconds must be positive")
+        if not 0.0 <= self.burst_fraction <= 1.0:
+            raise ValueError("burst_fraction must be within [0, 1]")
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Time-averaged offered rate of the envelope."""
+        return (
+            self.burst_fraction * self.peak_rate_rps
+            + (1.0 - self.burst_fraction) * self.base_rate_rps
+        )
+
+    def _rates_at(self, times: np.ndarray) -> np.ndarray:
+        """Envelope rate at each timestamp (vectorized)."""
+        in_period = np.mod(times - self.phase_seconds, self.period_seconds)
+        burst = in_period < self.burst_fraction * self.period_seconds
+        return np.where(burst, self.peak_rate_rps, self.base_rate_rps)
+
+    def trace(self, num_requests: int) -> RequestTrace:
+        """Generate a trace of ``num_requests`` timestamped requests.
+
+        Thinning keeps the structure-of-arrays discipline of the other
+        generators: candidate arrivals come in vectorized chunks at the
+        peak rate and are accepted with probability ``rate(t) / peak``.
+        """
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        rng = np.random.default_rng(self.seed)
+        accepted: List[np.ndarray] = []
+        total = 0
+        t = 0.0
+        # Chunked thinning: expected acceptance is mean/peak per candidate.
+        chunk = max(int(num_requests * self.peak_rate_rps / self.mean_rate_rps), 16)
+        while total < num_requests:
+            gaps = rng.exponential(1.0 / self.peak_rate_rps, size=chunk)
+            candidates = t + np.cumsum(gaps)
+            t = float(candidates[-1])
+            keep = rng.random(chunk) < self._rates_at(candidates) / self.peak_rate_rps
+            kept = candidates[keep]
+            accepted.append(kept)
+            total += len(kept)
+        arrivals = np.concatenate(accepted)[:num_requests]
+        picks = _workload_picks(self.workloads, rng, num_requests)
+        return RequestTrace.from_arrays(
+            arrivals,
+            list(self.workloads),
+            picks,
+            tenant_pool=[self.tenant],
+            tenant_index=np.zeros(num_requests, dtype=np.int64),
+        )
+
+
+def merge_traces(traces: Sequence[RequestTrace]) -> RequestTrace:
+    """Interleave several traces into one, by arrival time.
+
+    The canonical way to build multi-tenant traffic: generate one
+    (single-tenant) trace per tenant — e.g. :class:`BurstyArrivals` streams
+    with per-tenant phase offsets — and merge them.  Request ids are
+    reassigned ``0..n-1`` in merged arrival order so they stay unique;
+    workload and tenant pools are deduplicated across the inputs.
+    """
+    if not traces:
+        raise ValueError("merge_traces needs at least one trace")
+    pool: List[WorkloadProfile] = []
+    slot_of: dict = {}
+    tenants: List[str] = []
+    tenant_slot_of: dict = {}
+    arrival_parts: List[np.ndarray] = []
+    index_parts: List[np.ndarray] = []
+    tenant_parts: List[np.ndarray] = []
+    for trace in traces:
+        arrays = trace.arrays()
+        workload_map = np.empty(len(arrays.workload_pool), dtype=np.int64)
+        for slot, workload in enumerate(arrays.workload_pool):
+            merged_slot = slot_of.get(workload)
+            if merged_slot is None:
+                merged_slot = len(pool)
+                slot_of[workload] = merged_slot
+                pool.append(workload)
+            workload_map[slot] = merged_slot
+        tenant_map = np.empty(len(arrays.tenant_pool), dtype=np.int64)
+        for slot, tenant in enumerate(arrays.tenant_pool):
+            merged_slot = tenant_slot_of.get(tenant)
+            if merged_slot is None:
+                merged_slot = len(tenants)
+                tenant_slot_of[tenant] = merged_slot
+                tenants.append(tenant)
+            tenant_map[slot] = merged_slot
+        arrival_parts.append(arrays.arrival_seconds)
+        index_parts.append(workload_map[arrays.workload_index])
+        tenant_parts.append(tenant_map[arrays.tenant_index])
+    arrivals = np.concatenate(arrival_parts)
+    index = np.concatenate(index_parts)
+    tenant_index = np.concatenate(tenant_parts)
+    # Stable sort by arrival keeps same-instant requests in input order, and
+    # the reassigned ids make that order canonical.
+    order = np.argsort(arrivals, kind="stable")
+    return RequestTrace.from_arrays(
+        arrivals[order],
+        pool,
+        index[order],
+        tenant_pool=tenants,
+        tenant_index=tenant_index[order],
+    )
 
 
 class TraceArrivals:
@@ -545,6 +802,7 @@ class ClosedLoopClients:
         seed: int = 0,
         max_requests: int = 0,
         retry_backoff_seconds: float = 0.0,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         if num_clients <= 0:
             raise ValueError("num_clients must be positive")
@@ -561,6 +819,7 @@ class ClosedLoopClients:
         self.think_seconds = think_seconds
         self.max_requests = max_requests
         self.retry_backoff_seconds = retry_backoff_seconds
+        self.tenant = tenant
         self._rng = np.random.default_rng(seed)
         self._idle: List[tuple] = [(0.0, c) for c in range(num_clients)]
         heapq.heapify(self._idle)
@@ -593,7 +852,8 @@ class ClosedLoopClients:
         else:
             workload = self.workloads[int(self._rng.integers(0, len(self.workloads)))]
         request = InferenceRequest(
-            request_id=self._issued, arrival_seconds=issue_at, workload=workload
+            request_id=self._issued, arrival_seconds=issue_at, workload=workload,
+            tenant=self.tenant,
         )
         self._owner[request.request_id] = client
         self._issued += 1

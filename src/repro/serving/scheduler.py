@@ -17,8 +17,9 @@ contract the 1-shard identity test leans on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -73,23 +74,55 @@ class BatchScheduler:
         max_wait_seconds: how long the first request of a batch may wait for
             companions before the batch closes anyway (>= 0; 0 disables
             cross-request batching unless arrivals coincide exactly).
+        tenant_weights: enables weighted-fair batch formation.  A mapping of
+            tenant name to weight; a tenant's slot quantum per batch is its
+            weighted share of ``max_batch_size`` (unlisted tenants weigh
+            1.0 against the listed total).  ``None`` (the default) keeps
+            the plain FIFO fill — single-tenant behaviour is unchanged.
+            See :class:`TenantFairBatcher` for the deficit round-robin
+            mechanics.
     """
 
-    def __init__(self, max_batch_size: int = 8, max_wait_seconds: float = 0.0) -> None:
+    def __init__(
+        self,
+        max_batch_size: int = 8,
+        max_wait_seconds: float = 0.0,
+        tenant_weights: Optional[Mapping[str, float]] = None,
+    ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_seconds < 0:
             raise ValueError("max_wait_seconds must be non-negative")
+        if tenant_weights is not None:
+            for tenant, weight in tenant_weights.items():
+                if weight <= 0:
+                    raise ValueError(f"weight for tenant {tenant!r} must be positive")
         self.max_batch_size = max_batch_size
         self.max_wait_seconds = max_wait_seconds
+        self.tenant_weights = dict(tenant_weights) if tenant_weights is not None else None
+
+    @property
+    def fair(self) -> bool:
+        """Whether weighted-fair (tenant-aware) batch formation is enabled."""
+        return self.tenant_weights is not None
+
+    def fair_batcher(self) -> "TenantFairBatcher":
+        """A fresh fair-batching state machine for one serving run."""
+        if not self.fair:
+            raise ValueError("fair_batcher() requires tenant_weights")
+        return TenantFairBatcher(self)
 
     def schedule(self, trace: RequestTrace) -> List[RequestBatch]:
         """Group the trace into batches, ordered by the time they close.
 
-        Deterministic: depends only on the trace and the scheduler's two
+        Deterministic: depends only on the trace and the scheduler's
         parameters, never on cluster state, so the same trace produces the
-        same batches regardless of how many shards later serve them.
+        same batches regardless of how many shards later serve them.  In
+        fair mode the batches come from :class:`TenantFairBatcher`, in
+        closure order (the same order the online loops dispatch).
         """
+        if self.fair:
+            return self._schedule_fair(trace)
         open_batches: Dict[Hashable, Tuple[List[InferenceRequest], float]] = {}
         closed: List[RequestBatch] = []
 
@@ -127,6 +160,30 @@ class BatchScheduler:
         closed.sort(key=lambda batch: (batch.ready_seconds, batch.requests[0].request_id))
         return closed
 
+    def _schedule_fair(self, trace: RequestTrace) -> List[RequestBatch]:
+        """Offline fair-mode scheduling: drive the batcher over the trace.
+
+        Event order matches the online loops exactly — deadlines at or
+        before an arrival fire first — so an uncontrolled online replay of
+        the same trace forms identical batches.
+        """
+        batcher = self.fair_batcher()
+        closed: List[RequestBatch] = []
+        for request in trace:
+            now = request.arrival_seconds
+            while True:
+                expiring = batcher.peek_deadline()
+                if expiring is None or expiring[0] > now:
+                    break
+                closed.extend(batcher.fire_deadline(expiring))
+            closed.extend(batcher.add(request, now))
+        while True:
+            expiring = batcher.peek_deadline()
+            if expiring is None:
+                break
+            closed.extend(batcher.fire_deadline(expiring))
+        return closed
+
     def schedule_fast(self, trace: RequestTrace) -> List[RequestBatch]:
         """Array-level batch formation, equivalent to :meth:`schedule`.
 
@@ -142,8 +199,15 @@ class BatchScheduler:
         the same ``(ready, first request id)`` order ``schedule`` produces
         — the reference/fast equivalence suite asserts batch-for-batch
         equality between the two.
+
+        Fair mode has no array-level fast path (membership depends on the
+        deficit state, not just per-key arrival order), so it delegates to
+        the shared batcher sweep — both engines then run the identical
+        code, which keeps them byte-identical by construction.
         """
-        arrivals, workload_index, pool, _ = trace.arrays()
+        if self.fair:
+            return self._schedule_fair(trace)
+        arrivals, workload_index, pool, _, _, _ = trace.arrays()
         requests = trace.requests
         key_of_slot = [workload.batch_key for workload in pool]
         groups: Dict[Hashable, List[int]] = {}
@@ -176,4 +240,207 @@ class BatchScheduler:
                 )
                 start = end
         closed.sort(key=lambda batch: (batch.ready_seconds, batch.requests[0].request_id))
+        return closed
+
+
+@dataclass
+class _OpenFairBatch:
+    """One forming batch of the fair batcher (per compatibility key)."""
+
+    members: List[InferenceRequest] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+    deadline: float = 0.0
+
+
+class TenantFairBatcher:
+    """Weighted-fair (deficit round-robin) batch formation for one run.
+
+    The plain size-or-timeout policy fills batches strictly first-come,
+    first-served, so one heavy tenant's burst occupies every slot of every
+    forming batch and a batch-compatible light tenant queues behind the
+    whole burst.  The fair batcher bounds that: each tenant holds a *slot
+    quantum* per batch — its weighted share of ``max_batch_size`` — backed
+    by a per-tenant **deficit counter** that is granted one quantum every
+    time a batch opens (capped at two quanta so idle tenants cannot hoard
+    entitlement).  An arriving request joins the open batch only while its
+    tenant has deficit credit; beyond that it waits in its tenant's
+    FIFO spill queue.
+
+    When a batch closes (size or timeout), spilled requests reseed the next
+    batch by deficit round-robin over tenants in sorted-name order.  The
+    reseed is **work-conserving**: if every spilling tenant has exhausted
+    its credit and slots remain, the leftover slots are filled round-robin
+    anyway — fairness shapes slot *allocation under contention*, it never
+    idles capacity (a lone heavy tenant batches exactly as in FIFO mode).
+    A reseeded batch that fills to the cap closes immediately at the same
+    instant and cascades.
+
+    Everything is event-local and deterministic, so the offline scheduler
+    sweep and both online engines drive one identical state machine.
+    """
+
+    def __init__(self, scheduler: BatchScheduler) -> None:
+        if scheduler.tenant_weights is None:
+            raise ValueError("TenantFairBatcher requires tenant_weights")
+        self.cap = scheduler.max_batch_size
+        self.wait = scheduler.max_wait_seconds
+        self.weights = dict(scheduler.tenant_weights)
+        self._total_weight = sum(self.weights.values()) or 1.0
+        self._open: Dict[Hashable, _OpenFairBatch] = {}
+        self._spill: Dict[Hashable, Dict[str, Deque[InferenceRequest]]] = {}
+        self._deficit: Dict[Hashable, Dict[str, float]] = {}
+        self._pending = 0
+
+    # ------------------------------------------------------------- quanta
+    def quantum(self, tenant: str) -> float:
+        """Slot entitlement of ``tenant`` per batch (>= 1 slot)."""
+        weight = self.weights.get(tenant, 1.0)
+        return max(1.0, self.cap * weight / self._total_weight)
+
+    @property
+    def pending_count(self) -> int:
+        """Requests waiting in open batches or spill queues."""
+        return self._pending
+
+    def open_members(self, key: Hashable) -> Optional[List[InferenceRequest]]:
+        """Members of the forming batch for ``key`` (None when no batch)."""
+        batch = self._open.get(key)
+        return batch.members if batch is not None else None
+
+    def can_join(self, key: Hashable, tenant: str) -> bool:
+        """Whether a ``tenant`` arrival would join ``key``'s forming batch.
+
+        False when the tenant's spill queue is non-empty, the batch is
+        full, or the tenant's deficit credit is exhausted — exactly the
+        conditions under which :meth:`add` would spill the request.  Used
+        by batching-aware admission so a request headed for the spill
+        queue is priced at its full standalone cost, not the marginal
+        merged-batch increment it will not get.
+        """
+        batch = self._open.get(key)
+        if batch is None or len(batch.members) >= self.cap:
+            return False
+        spill = self._spill.get(key)
+        if spill is not None and spill.get(tenant):
+            return False
+        return self._credit(key, tenant) >= 1.0
+
+    # ------------------------------------------------------------- events
+    def _grant(self, key: Hashable) -> None:
+        """Grant one quantum of deficit to every tenant known to ``key``."""
+        deficits = self._deficit.setdefault(key, {})
+        spill = self._spill.get(key, {})
+        for tenant in set(deficits) | set(spill):
+            quantum = self.quantum(tenant)
+            if spill.get(tenant):
+                deficits[tenant] = min(
+                    deficits.get(tenant, 0.0) + quantum, 2.0 * quantum
+                )
+            else:
+                deficits[tenant] = quantum
+
+    def _credit(self, key: Hashable, tenant: str) -> float:
+        deficits = self._deficit.setdefault(key, {})
+        if tenant not in deficits:
+            deficits[tenant] = self.quantum(tenant)
+        return deficits[tenant]
+
+    def add(self, request: InferenceRequest, now: float) -> List[RequestBatch]:
+        """Feed one arrival; returns the batches it caused to close."""
+        key = request.workload.batch_key
+        batch = self._open.get(key)
+        if batch is None:
+            batch = _OpenFairBatch(deadline=now + self.wait)
+            self._open[key] = batch
+            self._grant(key)
+        tenant = request.tenant
+        spill = self._spill.setdefault(key, {})
+        queue = spill.get(tenant)
+        self._pending += 1
+        if (
+            (queue is None or not queue)
+            and len(batch.members) < self.cap
+            and self._credit(key, tenant) >= 1.0
+        ):
+            self._deficit[key][tenant] -= 1.0
+            batch.members.append(request)
+            batch.counts[tenant] = batch.counts.get(tenant, 0) + 1
+            if len(batch.members) >= self.cap:
+                return self._close(key, now)
+            return []
+        if queue is None:
+            queue = deque()
+            spill[tenant] = queue
+        queue.append(request)
+        return []
+
+    def peek_deadline(self) -> Optional[Tuple[float, int, Hashable]]:
+        """Earliest ``(deadline, first member id, key)`` among open batches."""
+        best: Optional[Tuple[float, int, Hashable]] = None
+        for key, batch in self._open.items():
+            entry = (batch.deadline, batch.members[0].request_id, key)
+            if best is None or entry[:2] < best[:2]:
+                best = entry
+        return best
+
+    def fire_deadline(
+        self, expiring: Optional[Tuple[float, int, Hashable]] = None
+    ) -> List[RequestBatch]:
+        """Close the batch whose deadline is earliest (cascading reseeds).
+
+        Callers that already hold the :meth:`peek_deadline` result pass it
+        in to skip a second scan over the open batches.
+        """
+        if expiring is None:
+            expiring = self.peek_deadline()
+        if expiring is None:
+            raise ValueError("no open batch to expire")
+        deadline, _, key = expiring
+        return self._close(key, deadline)
+
+    def _close(self, key: Hashable, ready: float) -> List[RequestBatch]:
+        """Close the open batch for ``key`` at ``ready`` and reseed."""
+        closed: List[RequestBatch] = []
+        batch = self._open.pop(key)
+        self._pending -= len(batch.members)
+        closed.append(RequestBatch(requests=batch.members, ready_seconds=ready))
+        spill = self._spill.get(key)
+        while spill and any(spill.values()):
+            reseed = _OpenFairBatch(deadline=ready + self.wait)
+            self._open[key] = reseed
+            self._grant(key)
+            deficits = self._deficit[key]
+            tenants = sorted(t for t, queue in spill.items() if queue)
+            # Credit-respecting passes first, then work-conserving fill.
+            for respect_credit in (True, False):
+                progressed = True
+                while progressed and len(reseed.members) < self.cap:
+                    progressed = False
+                    for tenant in tenants:
+                        queue = spill.get(tenant)
+                        if not queue or len(reseed.members) >= self.cap:
+                            continue
+                        if respect_credit and deficits.get(tenant, 0.0) < 1.0:
+                            continue
+                        if respect_credit:
+                            deficits[tenant] -= 1.0
+                        reseed.members.append(queue.popleft())
+                        reseed.counts[tenant] = reseed.counts.get(tenant, 0) + 1
+                        progressed = True
+                if len(reseed.members) >= self.cap:
+                    break
+            if len(reseed.members) >= self.cap:
+                self._open.pop(key)
+                self._pending -= len(reseed.members)
+                closed.append(RequestBatch(requests=reseed.members, ready_seconds=ready))
+                continue
+            # Partially reseeded batch stays open until its own deadline.
+            break
+        if not self._open.get(key):
+            # No forming batch left: clear the key's bookkeeping so tenants
+            # start from a fresh quantum next time traffic appears.
+            self._open.pop(key, None)
+            if spill is not None and not any(spill.values()):
+                self._spill.pop(key, None)
+                self._deficit.pop(key, None)
         return closed

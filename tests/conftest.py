@@ -20,10 +20,12 @@ from repro.graph.convert import coo_to_csc
 from repro.graph.generators import GraphSpec, power_law_graph
 from repro.serving import (
     BatchScheduler,
+    BurstyArrivals,
     InferenceRequest,
     OpenLoopArrivals,
     RequestTrace,
     ShardedServiceCluster,
+    merge_traces,
 )
 from repro.system.service import build_services
 from repro.system.workload import WorkloadProfile
@@ -73,6 +75,36 @@ WORKLOAD_POOL = [
 #: The seven compared systems' labels (static so strategies can sample them
 #: at collection time without building the services).
 SYSTEM_NAMES = ("AutoPre", "CPU", "DynPre", "FPGA", "GPU", "GSamp", "StatPre")
+
+#: Tenant names shared by the multi-tenant suites.
+TENANTS = ("ent", "free", "pro")
+
+
+def make_bursty_tenant_trace(
+    workloads,
+    tenants=TENANTS,
+    num_per_tenant: int = 20,
+    base_rate_rps: float = 50.0,
+    peak_rate_rps: float = 500.0,
+    period_seconds: float = 0.5,
+    burst_fraction: float = 0.3,
+    seed: int = 0,
+) -> RequestTrace:
+    """One bursty stream per tenant, phases staggered across the period."""
+    streams = [
+        BurstyArrivals(
+            workloads,
+            base_rate_rps=base_rate_rps,
+            peak_rate_rps=peak_rate_rps,
+            period_seconds=period_seconds,
+            burst_fraction=burst_fraction,
+            phase_seconds=i * period_seconds / len(tenants),
+            tenant=tenant,
+            seed=seed + i,
+        )
+        for i, tenant in enumerate(tenants)
+    ]
+    return merge_traces([stream.trace(num_per_tenant) for stream in streams])
 
 
 @pytest.fixture(scope="session")

@@ -11,7 +11,13 @@ batching timeout boundaries where a tie-break bug would first show up.
 import json
 
 import pytest
-from conftest import SYSTEM_NAMES, WORKLOAD_POOL, make_profile
+from conftest import (
+    SYSTEM_NAMES,
+    TENANTS,
+    WORKLOAD_POOL,
+    make_bursty_tenant_trace,
+    make_profile,
+)
 from hypothesis import given, settings, strategies as st
 
 from repro.serving import (
@@ -27,6 +33,7 @@ from repro.serving import (
     ServingController,
     ShardedServiceCluster,
     SLOPolicy,
+    TenantQuota,
     TraceArrivals,
 )
 from repro.serving.engine import ShardHeap
@@ -238,6 +245,122 @@ class TestTimeoutBoundaries:
         fast_report = fast.serve_trace(trace)
         assert _render(ref_report) == _render(fast_report)
         assert fast_report.num_batches == 4
+
+
+# --------------------------------------------------- multi-tenant + bursty
+class TestTenantEquivalence:
+    """Byte-identity must survive tenancy: bursty multi-tenant traffic,
+    weighted-fair batching, quota-tiered admission and batching-aware
+    estimates all ride the same reference/fast contract."""
+
+    WEIGHTS = {"ent": 3.0, "free": 1.0, "pro": 2.0}
+
+    def _slo(self) -> SLOPolicy:
+        return SLOPolicy(
+            default_slo_seconds=0.4,
+            per_tenant={
+                "free": TenantQuota(guaranteed_rps=10.0, weight=1.0, limit_rps=200.0),
+                "pro": TenantQuota(guaranteed_rps=25.0, weight=2.0),
+                "ent": TenantQuota(guaranteed_rps=40.0, weight=3.0, slo_seconds=0.3),
+            },
+            excess_rps=15.0,
+        )
+
+    @pytest.mark.parametrize("policy", DISPATCH_POLICIES)
+    def test_bursty_fair_offline(self, services, policy):
+        trace = make_bursty_tenant_trace(WORKLOAD_POOL, num_per_tenant=15, seed=3)
+        scheduler = BatchScheduler(
+            max_batch_size=3, max_wait_seconds=0.004, tenant_weights=self.WEIGHTS
+        )
+        reference, fast = _pair(
+            services, "DynPre", policy=policy, scheduler=scheduler,
+            locality_spill_seconds=0.05,
+        )
+        slo = self._slo()
+        assert _render(reference.serve_trace(trace, slo=slo)) == _render(
+            fast.serve_trace(trace, slo=slo)
+        )
+
+    def test_bursty_fair_controlled_online(self, services):
+        trace = make_bursty_tenant_trace(WORKLOAD_POOL, num_per_tenant=20, seed=9)
+        scheduler = BatchScheduler(
+            max_batch_size=3, max_wait_seconds=0.004, tenant_weights=self.WEIGHTS
+        )
+
+        def run(engine):
+            cluster = _cluster(services, "DynPre", engine, scheduler=scheduler)
+            scaler = Autoscaler(
+                min_shards=1, max_shards=3, scale_up_depth=2.0,
+                scale_down_depth=0.5, hysteresis_observations=2,
+            )
+            controller = ServingController(
+                cluster, slo=self._slo(), autoscaler=scaler, batch_aware=True
+            )
+            return controller.serve(TraceArrivals(trace))
+
+        reference, fast = run(ENGINE_REFERENCE), run(ENGINE_FAST)
+        assert _render(reference) == _render(fast)
+        # The tenant sections agree record-for-record, not just rendered.
+        assert set(reference.tenant_stats) == set(TENANTS)
+        for tenant, stats in reference.tenant_stats.items():
+            other = fast.tenant_stats[tenant]
+            assert stats.offered == other.offered
+            assert stats.served == other.served
+            assert stats.shed == other.shed
+            assert stats.slo_met == other.slo_met
+            assert stats.latency == other.latency
+
+    def test_fair_offline_equals_uncontrolled_online_replay(self, services):
+        # The fair batcher is one state machine driven by both paths: with
+        # no control plane attached, online replay == offline schedule.
+        trace = make_bursty_tenant_trace(WORKLOAD_POOL, num_per_tenant=12, seed=5)
+        scheduler = BatchScheduler(
+            max_batch_size=3, max_wait_seconds=0.003, tenant_weights=self.WEIGHTS
+        )
+        offline = _cluster(services, "CPU", ENGINE_FAST, scheduler=scheduler)
+        online = _cluster(services, "CPU", ENGINE_FAST, scheduler=scheduler)
+        assert _render(offline.serve_trace(trace)) == _render(
+            online.serve_online(TraceArrivals(trace))
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        name=st.sampled_from(SYSTEM_NAMES),
+        seed=st.integers(min_value=0, max_value=2**16),
+        num_per_tenant=st.integers(min_value=2, max_value=15),
+        peak=st.sampled_from([100.0, 500.0, 2000.0]),
+        max_batch_size=st.integers(min_value=1, max_value=5),
+        max_wait_ms=st.sampled_from([0.0, 1.0, 5.0]),
+        num_shards=st.integers(min_value=1, max_value=4),
+        fair=st.booleans(),
+        slo_ms=st.sampled_from([50.0, 300.0]),
+    )
+    def test_property_sweep_tenants(
+        self, services, name, seed, num_per_tenant, peak, max_batch_size,
+        max_wait_ms, num_shards, fair, slo_ms,
+    ):
+        trace = make_bursty_tenant_trace(
+            WORKLOAD_POOL, num_per_tenant=num_per_tenant, peak_rate_rps=peak,
+            seed=seed,
+        )
+        scheduler = BatchScheduler(
+            max_batch_size=max_batch_size,
+            max_wait_seconds=max_wait_ms * 1e-3,
+            tenant_weights=self.WEIGHTS if fair else None,
+        )
+        slo = SLOPolicy(
+            default_slo_seconds=slo_ms * 1e-3,
+            per_tenant={"free": TenantQuota(guaranteed_rps=20.0)},
+        )
+
+        def run(engine):
+            cluster = _cluster(
+                services, name, engine, num_shards=num_shards, scheduler=scheduler
+            )
+            controller = ServingController(cluster, slo=slo, batch_aware=True)
+            return controller.serve(TraceArrivals(trace))
+
+        assert _render(run(ENGINE_REFERENCE)) == _render(run(ENGINE_FAST))
 
 
 # ------------------------------------------------------- scheduler fast path

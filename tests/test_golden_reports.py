@@ -20,6 +20,7 @@ import pytest
 from repro.serving import (
     Autoscaler,
     BatchScheduler,
+    BurstyArrivals,
     ClosedLoopClients,
     DISPATCH_POLICIES,
     ENGINE_FAST,
@@ -28,6 +29,9 @@ from repro.serving import (
     ServingController,
     ShardedServiceCluster,
     SLOPolicy,
+    TenantQuota,
+    TraceArrivals,
+    merge_traces,
 )
 from repro.system.service import build_services
 from repro.system.workload import WorkloadProfile
@@ -72,6 +76,51 @@ def _controlled_report(services, engine: str = ENGINE_FAST):
     return ServingController(cluster, slo=slo, autoscaler=scaler).serve(clients)
 
 
+def _tenant_trace():
+    """Three bursty tenants with staggered phases over the golden mix."""
+    streams = [
+        BurstyArrivals(
+            GOLDEN_MIX, base_rate_rps=60.0, peak_rate_rps=600.0,
+            period_seconds=0.4, burst_fraction=0.3, phase_seconds=phase,
+            tenant=tenant, seed=31 + i,
+        )
+        for i, (tenant, phase) in enumerate(
+            [("free", 0.0), ("pro", 0.15), ("ent", 0.25)]
+        )
+    ]
+    return merge_traces([stream.trace(16) for stream in streams])
+
+
+def _tenant_report(services, engine: str = ENGINE_FAST):
+    """Fully tenant-aware controlled run: quotas, weighted shedding,
+    weighted-fair batching, batching-aware admission and bursty traffic."""
+    scheduler = BatchScheduler(
+        max_batch_size=3, max_wait_seconds=0.004,
+        tenant_weights={"free": 1.0, "pro": 2.0, "ent": 3.0},
+    )
+    cluster = ShardedServiceCluster(
+        services["DynPre"], num_shards=3, scheduler=scheduler, engine=engine
+    )
+    slo = SLOPolicy(
+        default_slo_seconds=0.5,
+        per_workload={"gold-b": 0.45},
+        per_tenant={
+            "free": TenantQuota(guaranteed_rps=10.0, weight=1.0, limit_rps=300.0),
+            "pro": TenantQuota(guaranteed_rps=30.0, weight=2.0),
+            "ent": TenantQuota(guaranteed_rps=50.0, weight=3.0, slo_seconds=0.4),
+        },
+        excess_rps=20.0,
+    )
+    scaler = Autoscaler(
+        min_shards=1, max_shards=3, scale_up_depth=2.0, scale_down_depth=0.5,
+        hysteresis_observations=2,
+    )
+    controller = ServingController(
+        cluster, slo=slo, autoscaler=scaler, batch_aware=True
+    )
+    return controller.serve(TraceArrivals(_tenant_trace()))
+
+
 def _render(report) -> str:
     return json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
 
@@ -104,6 +153,17 @@ def test_controlled_report_matches_golden(golden_services, engine):
     assert rendered == expected
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+def test_tenant_report_matches_golden(golden_services, engine):
+    rendered = _render(_tenant_report(golden_services, engine))
+    expected = _golden_path("tenant-fairness").read_text()
+    assert rendered == expected, (
+        f"tenant-fairness ClusterReport (engine {engine!r}) drifted from its "
+        "golden copy; if the change is intentional, regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_reports.py --regen`"
+    )
+
+
 @pytest.mark.parametrize("policy", DISPATCH_POLICIES)
 def test_offline_report_stable_across_runs(golden_services, policy):
     """Two fresh clusters over the same trace render identically."""
@@ -118,6 +178,12 @@ def test_controlled_report_stable_across_runs(golden_services):
     )
 
 
+def test_tenant_report_stable_across_runs(golden_services):
+    assert _render(_tenant_report(golden_services)) == _render(
+        _tenant_report(golden_services)
+    )
+
+
 def regenerate_all() -> None:
     """Rewrite every golden file from the current implementation."""
     services = build_services()
@@ -127,6 +193,8 @@ def regenerate_all() -> None:
         print(f"wrote {_golden_path(policy)}")
     _golden_path("controlled").write_text(_render(_controlled_report(services)))
     print(f"wrote {_golden_path('controlled')}")
+    _golden_path("tenant-fairness").write_text(_render(_tenant_report(services)))
+    print(f"wrote {_golden_path('tenant-fairness')}")
 
 
 if __name__ == "__main__":  # pragma: no cover

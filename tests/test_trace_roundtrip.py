@@ -16,16 +16,24 @@ from pathlib import Path
 import pytest
 
 from repro.serving import (
+    DEFAULT_TENANT,
     BatchScheduler,
+    BurstyArrivals,
     InferenceRequest,
     OpenLoopArrivals,
     RequestTrace,
     ShardedServiceCluster,
+    merge_traces,
 )
 from repro.system.service import build_services
 from repro.system.workload import WorkloadProfile
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "request_trace.jsonl"
+
+#: A pre-tenancy (version 1) capture of the same golden trace, kept to pin
+#: backwards compatibility: old fixtures must keep loading, with every
+#: request assigned the default tenant.
+GOLDEN_V1_PATH = Path(__file__).parent / "golden" / "request_trace_v1.jsonl"
 
 #: The fixed mix the golden trace was generated from (same profiles as the
 #: golden cluster reports, so the two suites pin consistent scenarios).
@@ -52,6 +60,18 @@ class TestGoldenFixture:
     def test_replay_equals_generated_trace(self):
         replayed = RequestTrace.from_jsonl(GOLDEN_PATH)
         assert replayed == _golden_trace()
+
+    def test_v1_capture_still_loads_with_default_tenant(self):
+        replayed = RequestTrace.from_jsonl(GOLDEN_V1_PATH)
+        assert replayed == _golden_trace()
+        assert all(r.tenant == DEFAULT_TENANT for r in replayed)
+        assert replayed.tenants() == [DEFAULT_TENANT]
+
+    def test_v1_capture_upgrades_to_v2_on_recapture(self, tmp_path):
+        upgraded = RequestTrace.from_jsonl(GOLDEN_V1_PATH).to_jsonl(
+            tmp_path / "upgraded.jsonl"
+        )
+        assert upgraded.read_text() == GOLDEN_PATH.read_text()
 
     def test_replayed_trace_serves_identically(self):
         services = build_services()
@@ -82,6 +102,35 @@ class TestRoundTrip:
         assert replayed == trace
         assert [r.request_id for r in replayed] == [9, 3, 7]
 
+    def test_multi_tenant_trace_round_trips(self, tmp_path):
+        streams = [
+            BurstyArrivals(
+                GOLDEN_MIX, base_rate_rps=50.0, peak_rate_rps=400.0,
+                period_seconds=0.5, burst_fraction=0.3, phase_seconds=phase,
+                tenant=tenant, seed=seed,
+            )
+            for tenant, phase, seed in [("free", 0.0, 1), ("pro", 0.2, 2)]
+        ]
+        trace = merge_traces([stream.trace(10) for stream in streams])
+        path = trace.to_jsonl(tmp_path / "tenants.jsonl")
+        replayed = RequestTrace.from_jsonl(path)
+        assert replayed == trace
+        assert [r.tenant for r in replayed] == [r.tenant for r in trace]
+        assert sorted(replayed.tenants()) == ["free", "pro"]
+
+    def test_explicit_tenant_objects_round_trip(self, tmp_path):
+        w = GOLDEN_MIX[0]
+        trace = RequestTrace(
+            [
+                InferenceRequest(0, 0.0, w, tenant="acme"),
+                InferenceRequest(1, 0.1, w),
+                InferenceRequest(2, 0.2, w, tenant="acme"),
+            ]
+        )
+        replayed = RequestTrace.from_jsonl(trace.to_jsonl(tmp_path / "t.jsonl"))
+        assert replayed == trace
+        assert [r.tenant for r in replayed] == ["acme", DEFAULT_TENANT, "acme"]
+
     def test_double_round_trip_is_stable(self, tmp_path):
         first = _golden_trace().to_jsonl(tmp_path / "a.jsonl")
         second = RequestTrace.from_jsonl(first).to_jsonl(tmp_path / "b.jsonl")
@@ -111,6 +160,14 @@ class TestRoundTrip:
         truncated.write_text("\n".join(lines[:-1]) + "\n")
         with pytest.raises(ValueError, match="truncated"):
             RequestTrace.from_jsonl(truncated)
+
+        missing_tenant = tmp_path / "missing_tenant.jsonl"
+        missing_tenant.write_text(
+            json.dumps({"kind": "trace", "version": 2, "num_requests": 0,
+                        "num_workloads": 0, "num_tenants": 1}) + "\n"
+        )
+        with pytest.raises(ValueError, match="tenant"):
+            RequestTrace.from_jsonl(missing_tenant)
 
 
 def regenerate() -> None:
