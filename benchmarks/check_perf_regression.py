@@ -1,6 +1,6 @@
 """Benchmark-regression gates for the fast paths.
 
-Two committed-vs-fresh comparisons:
+Three committed-vs-fresh comparisons:
 
 * **Preprocessing** — reads the committed ``BENCH_perf_preprocessing.json``,
   runs a fresh ``--quick`` pass of ``benchmarks/bench_perf_preprocessing.py``,
@@ -15,6 +15,11 @@ Two committed-vs-fresh comparisons:
   the identical simulation, so ``fresh_reference / committed_reference`` is
   the machine-speed factor and the check is
   ``fresh_fast <= tolerance * machine_factor * committed_fast``.
+* **Fault tolerance** — reads the committed ``BENCH_fault_tolerance.json``,
+  runs a fresh ``--quick`` pass of ``benchmarks/bench_fault_tolerance.py``,
+  and fails when the fresh fault-aware/fault-oblivious goodput ratio drops
+  below ``tolerance * committed_ratio`` or the benchmark's own absolute
+  gate, or when the stress run's conservation invariant breaks.
 
 Relative tolerances absorb CI-runner noise; the absolute floors catch a
 fast path that was quietly disabled altogether.
@@ -40,6 +45,7 @@ for path in (str(_SRC), str(REPO_ROOT / "benchmarks")):
         sys.path.insert(0, path)
 
 import bench_engine_speed
+import bench_fault_tolerance
 import bench_perf_preprocessing
 
 #: Fresh speedup must reach this fraction of the committed speedup.
@@ -140,6 +146,40 @@ def _check_engine(args) -> List[str]:
     return failures
 
 
+def _check_fault_tolerance(args) -> List[str]:
+    if not args.fault_baseline.exists():
+        return [
+            f"fault-tolerance: committed baseline {args.fault_baseline} is missing — "
+            "regenerate with `python benchmarks/bench_fault_tolerance.py` and commit it"
+        ]
+    committed = json.loads(args.fault_baseline.read_text())
+
+    print("\nrunning fresh --quick fault-tolerance benchmark...\n")
+    fresh = bench_fault_tolerance.run(quick=True)
+
+    failures: List[str] = []
+    floor = max(
+        args.tolerance * committed["goodput_ratio"], fresh["min_goodput_ratio"]
+    )
+    verdict = "ok" if fresh["goodput_ratio"] >= floor else "REGRESSION"
+    print(
+        f"recovery: committed {committed['goodput_ratio']:6.2f}x | "
+        f"fresh {fresh['goodput_ratio']:6.2f}x | floor {floor:6.2f}x | {verdict}"
+    )
+    if fresh["goodput_ratio"] < floor:
+        failures.append(
+            f"fault-tolerance: fresh fault-aware/oblivious goodput ratio "
+            f"{fresh['goodput_ratio']:.2f}x below floor {floor:.2f}x "
+            f"(committed {committed['goodput_ratio']:.2f}x, tolerance {args.tolerance})"
+        )
+    if not fresh["stress"]["conserved"]:
+        failures.append(
+            "fault-tolerance: stress run broke conservation "
+            "(offered != served + shed + failed)"
+        )
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -153,6 +193,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=Path,
         default=bench_engine_speed.RESULT_PATH,
         help="committed serving-engine benchmark JSON to compare against",
+    )
+    parser.add_argument(
+        "--fault-baseline",
+        type=Path,
+        default=bench_fault_tolerance.RESULT_PATH,
+        help="committed fault-tolerance benchmark JSON to compare against",
     )
     parser.add_argument(
         "--tolerance",
@@ -176,6 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     failures = _check_preprocessing(args)
     failures += _check_engine(args)
+    failures += _check_fault_tolerance(args)
 
     if failures:
         print("\nPERF REGRESSION DETECTED:", file=sys.stderr)

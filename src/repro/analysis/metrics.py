@@ -345,17 +345,19 @@ class StreamingLatencyStats:
 
 @dataclass
 class GoodputStats:
-    """Offered/served/shed accounting of one SLO-scored serving run.
+    """Offered/served/shed/failed accounting of one SLO-scored serving run.
 
-    ``offered == served + shed`` by construction (the control plane either
-    admits a request or sheds it at arrival; nothing is dropped silently),
-    and ``goodput_rps <= throughput_rps`` because only served requests that
-    met their SLO count as goodput.
+    ``offered == served + shed + failed`` by construction (the control plane
+    either admits a request or sheds it at arrival, and an admitted request
+    either completes or permanently fails under fault injection; nothing is
+    dropped silently), and ``goodput_rps <= throughput_rps`` because only
+    served requests that met their SLO count as goodput.
 
     Attributes:
         offered: requests that reached the cluster front-end.
         served: requests that completed service.
         shed: requests rejected at admission.
+        failed: admitted requests lost to shard faults (retry budget spent).
         slo_met: served requests whose sojourn met their SLO.
         makespan_seconds: first arrival to last completion.
     """
@@ -365,6 +367,7 @@ class GoodputStats:
     shed: int = 0
     slo_met: int = 0
     makespan_seconds: float = 0.0
+    failed: int = 0
 
     @property
     def shed_rate(self) -> float:
@@ -400,6 +403,7 @@ class GoodputStats:
             "offered": self.offered,
             "served": self.served,
             "shed": self.shed,
+            "failed": self.failed,
             "shed_rate": self.shed_rate,
             "slo_met": self.slo_met,
             "slo_attainment": self.slo_attainment,

@@ -22,6 +22,11 @@ traffic regime:
   rates, weighted excess shedding, hard caps), predictive / batching-aware
   admission control and a hysteresis queue-depth autoscaler with bitstream
   warm-up penalties.
+* :mod:`repro.serving.faults` — deterministic shard failure injection
+  (:class:`FaultSchedule`: crash / recover / slowdown events, or a seeded
+  :class:`RandomFaults` generator) with drain-and-migrate recovery, retry
+  with exponential backoff, and exact served/shed/failed conservation —
+  consumed identically by both engines.
 * :mod:`repro.serving.engine` — the fast serving engine behind
   ``ShardedServiceCluster(engine="fast")`` (the default): serve-transition
   caching, array-level batch formation, shard/deadline heaps and streaming
@@ -57,6 +62,16 @@ from repro.serving.cluster import (
     ShardedServiceCluster,
     ShedRecord,
     build_reference_clusters,
+)
+from repro.serving.faults import (
+    FAULT_CRASH,
+    FAULT_KINDS,
+    FAULT_RECOVER,
+    FAULT_SLOWDOWN,
+    FaultEvent,
+    FaultSchedule,
+    FaultStats,
+    RandomFaults,
 )
 from repro.serving.control import (
     AdmissionController,
@@ -97,6 +112,14 @@ __all__ = [
     "POLICY_ROUND_ROBIN",
     "POLICY_LEAST_LOADED",
     "POLICY_LOCALITY",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultStats",
+    "RandomFaults",
+    "FAULT_CRASH",
+    "FAULT_RECOVER",
+    "FAULT_SLOWDOWN",
+    "FAULT_KINDS",
     "SLOPolicy",
     "AdmissionController",
     "AdmissionDecision",

@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # control.py only imports repro.system.workload — no cycle,
         ScalingEvent,
         SLOPolicy,
     )
+from repro.serving.faults import FaultLoopHooks, FaultSchedule, FaultStats, due
 from repro.serving.requests import InferenceRequest, RequestTrace
 from repro.serving.scheduler import BatchScheduler, RequestBatch
 from repro.system.service import GNNService, ServiceReport, build_services
@@ -179,6 +180,9 @@ class ClusterReport:
             present the summary properties read them instead of re-deriving
             from the per-request records, and :meth:`compact` may drop the
             records.
+        faults: fault-injection summary (:class:`FaultStats`) of runs served
+            under a :class:`~repro.serving.faults.FaultSchedule`, or None.
+            Plain summary data, so it survives :meth:`compact`.
     """
 
     system: str
@@ -194,6 +198,7 @@ class ClusterReport:
     decisions: List["AdmissionDecision"] = field(default_factory=list)
     scaling_timeline: List["ScalingEvent"] = field(default_factory=list)
     aggregates: Optional[ReportAggregates] = field(default=None, repr=False)
+    faults: Optional[FaultStats] = None
 
     # ------------------------------------------------------------ aggregates
     @property
@@ -230,9 +235,16 @@ class ClusterReport:
         return self
 
     @property
+    def num_failed(self) -> int:
+        """Admitted requests permanently lost to shard faults."""
+        if self.faults is not None:
+            return self.faults.failed
+        return 0
+
+    @property
     def num_offered(self) -> int:
-        """Requests that reached the cluster front-end (served + shed)."""
-        return self.num_requests + self.num_shed
+        """Requests that reached the front-end (served + shed + failed)."""
+        return self.num_requests + self.num_shed + self.num_failed
 
     @property
     def throughput_rps(self) -> float:
@@ -266,6 +278,7 @@ class ClusterReport:
             shed=self.num_shed,
             slo_met=slo_met,
             makespan_seconds=self.makespan_seconds,
+            failed=self.num_failed,
         )
 
     @property
@@ -392,6 +405,7 @@ class ClusterReport:
                 for tenant, stats in self.tenant_stats.items()
             },
             "slo": self.slo.as_dict() if self.slo is not None else None,
+            "faults": self.faults.as_dict() if self.faults is not None else None,
             "scaling_timeline": [
                 [event.seconds, event.active_shards, event.reason]
                 for event in self.scaling_timeline
@@ -573,9 +587,69 @@ class ShardedServiceCluster:
             )
         return finish
 
+    def _fault_hooks(
+        self,
+        state: _LoopState,
+        active_count,
+        on_commit=None,
+        on_failed=None,
+    ) -> FaultLoopHooks:
+        """Reference-engine view of the loop state for the fault runtime.
+
+        ``on_commit`` / ``on_failed`` are the online loop's extra effects
+        (completion feedback to the arrival source, pending-estimate
+        bookkeeping); the offline replay leaves them unset.
+        """
+
+        def serve(shard_id: int, workload):
+            report = self.shards[shard_id].serve(workload)
+            return report, report.total_seconds
+
+        def set_busy(shard_id: int, seconds: float) -> None:
+            state.busy_until[shard_id] = seconds
+
+        def add_busy(shard_id: int, seconds: float) -> None:
+            state.busy_total[shard_id] += seconds
+
+        def commit(batch, shard_id, start, duration, report, finish) -> None:
+            state.shard_requests[shard_id] += len(batch)
+            state.num_batches += 1
+            state.last_finish = max(state.last_finish, finish)
+            for request in batch.requests:
+                state.served.append(
+                    ServedRequest(
+                        request=request,
+                        shard_id=shard_id,
+                        batch_size=len(batch),
+                        batching_delay=batch.batching_delay(request),
+                        dispatch_delay=start - batch.ready_seconds,
+                        service_seconds=duration,
+                        report=report,
+                    )
+                )
+            if on_commit is not None:
+                on_commit(batch, finish)
+
+        return FaultLoopHooks(
+            active_count=active_count,
+            busy=lambda shard_id: state.busy_until[shard_id],
+            set_busy=set_busy,
+            add_busy=add_busy,
+            merged=lambda batch: batch.workload,
+            pick=lambda batch, workload, active: self._pick_shard(
+                batch, state.busy_until, active
+            ),
+            serve=serve,
+            commit=commit,
+            on_failed=on_failed if on_failed is not None else lambda request, seconds: None,
+        )
+
     # --------------------------------------------------------------- serving
     def serve_trace(
-        self, trace: RequestTrace, slo: Optional["SLOPolicy"] = None
+        self,
+        trace: RequestTrace,
+        slo: Optional["SLOPolicy"] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> ClusterReport:
         """Replay a trace through the cluster and merge the outcome.
 
@@ -583,31 +657,46 @@ class ShardedServiceCluster:
         order they close; a batch starts at ``max(ready, shard free)`` and
         occupies its shard for the batch's modelled end-to-end latency.
         ``slo`` (an :class:`~repro.serving.control.SLOPolicy`) only scores
-        the run's goodput section; the offline path never sheds.
+        the run's goodput section; the offline path never sheds.  With a
+        ``faults`` schedule the replay injects shard crash/recover/slowdown
+        events: doomed batches migrate to survivors, in-flight failures
+        retry with backoff, and the report carries a faults section.
         """
         if not len(trace):
             raise ValueError("cannot serve an empty trace")
         if self.engine == ENGINE_FAST:
             from repro.serving.engine import serve_trace_fast
 
-            return serve_trace_fast(self, trace, slo)
+            return serve_trace_fast(self, trace, slo, faults)
         self._rr_next = 0
         batches = self.scheduler.schedule(trace)
         state = _LoopState(self.num_shards)
-        active = range(self.num_shards)
-        for batch in batches:
-            self._dispatch(batch, state, active)
+        fault_stats: Optional[FaultStats] = None
+        if faults is None:
+            active = range(self.num_shards)
+            for batch in batches:
+                self._dispatch(batch, state, active)
+        else:
+            ctx = faults.runtime(self.num_shards, slo)
+            env = self._fault_hooks(state, lambda: self.num_shards)
+            for batch in batches:
+                ctx.step(env, batch)
+            ctx.drain(env)
+            fault_stats = ctx.finalize(trace[0].arrival_seconds, state.last_finish)
         first_arrival = trace[0].arrival_seconds
+        # A faulted replay can fail every request; an empty run has no span.
+        makespan = state.last_finish - first_arrival if state.served else 0.0
         return ClusterReport(
             system=self.system_name,
             policy=self.policy,
             num_shards=self.num_shards,
             served=state.served,
             num_batches=state.num_batches,
-            makespan_seconds=state.last_finish - first_arrival,
+            makespan_seconds=makespan,
             shard_busy_seconds=state.busy_total,
             shard_requests=state.shard_requests,
             slo=slo,
+            faults=fault_stats,
         )
 
     def serve_online(
@@ -616,6 +705,7 @@ class ShardedServiceCluster:
         slo: Optional["SLOPolicy"] = None,
         admission: Optional["AdmissionController"] = None,
         autoscaler: Optional["Autoscaler"] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> ClusterReport:
         """Drain an arrival source through the online co-simulated event loop.
 
@@ -647,6 +737,15 @@ class ShardedServiceCluster:
         deterministic, so the finish instant is known then) and fed to the
         source, which is what lets closed-loop clients issue their next
         request only after their previous one actually finished.
+
+        With a ``faults`` schedule the loop interleaves two more event
+        kinds — fault events and retry timers — with the precedence
+        ``fault < deadline < retry < arrival`` at timestamp ties.  Dispatch
+        then goes through the shared fault runtime: dead shards leave the
+        dispatchable set (live standby shards past the autoscaler's prefix
+        replace them), doomed batches drain and migrate, in-flight failures
+        retry with exponential backoff until their budget is spent, and the
+        admission backlog prediction only counts live shards.
         """
         if autoscaler is not None and autoscaler.max_shards > self.num_shards:
             raise ValueError(
@@ -656,7 +755,7 @@ class ShardedServiceCluster:
         if self.engine == ENGINE_FAST:
             from repro.serving.engine import serve_online_fast
 
-            return serve_online_fast(self, source, slo, admission, autoscaler)
+            return serve_online_fast(self, source, slo, admission, autoscaler, faults)
         self._rr_next = 0
         state = _LoopState(self.num_shards)
         fair = self.scheduler.fair
@@ -679,8 +778,27 @@ class ShardedServiceCluster:
         if admission is not None:
             admission.reset()
         first_arrival: Optional[float] = None
+        # Guaranteed-tier tenants whose open-queue pressure a tenant-aware
+        # autoscaler watches separately from the global depth.
+        guaranteed_tenants: Optional[frozenset] = None
+        if autoscaler is not None and autoscaler.tenant_aware and slo is not None:
+            guaranteed_tenants = frozenset(
+                tenant
+                for tenant, quota in slo.per_tenant.items()
+                if quota.guaranteed_rps > 0
+            )
+        guaranteed_open = 0
+        ctx = faults.runtime(self.num_shards, slo) if faults is not None else None
 
         def dispatch_batch(batch: RequestBatch) -> None:
+            nonlocal guaranteed_open
+            if guaranteed_tenants:
+                for request in batch.requests:
+                    if request.tenant in guaranteed_tenants:
+                        guaranteed_open -= 1
+            if ctx is not None:
+                ctx.dispatch(batch, env)
+                return
             finish = self._dispatch(batch, state, range(active_count))
             for request in batch.requests:
                 pending_estimates.pop(request.request_id, None)
@@ -692,16 +810,45 @@ class ShardedServiceCluster:
             open_deadline.pop(key)
             dispatch_batch(RequestBatch(requests=members, ready_seconds=ready_seconds))
 
+        def commit_online(batch: RequestBatch, finish: float) -> None:
+            for request in batch.requests:
+                pending_estimates.pop(request.request_id, None)
+                heapq.heappush(inflight, finish)
+                source.on_complete(request, finish)
+
+        def fail_request(request: InferenceRequest, seconds: float) -> None:
+            pending_estimates.pop(request.request_id, None)
+            source.on_shed(request, seconds)
+
+        env = (
+            self._fault_hooks(
+                state, lambda: active_count, commit_online, fail_request
+            )
+            if ctx is not None
+            else None
+        )
+
+        def enqueue(request: InferenceRequest, now: float) -> None:
+            nonlocal guaranteed_open
+            if guaranteed_tenants and request.tenant in guaranteed_tenants:
+                guaranteed_open += 1
+            if fair:
+                for batch in batcher.add(request, now):
+                    dispatch_batch(batch)
+                return
+            key = request.workload.batch_key
+            if key not in open_members:
+                open_members[key] = []
+                open_deadline[key] = now + self.scheduler.max_wait_seconds
+            open_members[key].append(request)
+            if len(open_members[key]) >= self.scheduler.max_batch_size:
+                close_batch(key, now)
+
         while True:
             t_arrival = source.peek_time()
             if fair:
                 expiring = batcher.peek_deadline()
-                if expiring is not None and (
-                    t_arrival is None or expiring[0] <= t_arrival
-                ):
-                    for batch in batcher.fire_deadline(expiring):
-                        dispatch_batch(batch)
-                    continue
+                t_deadline = expiring[0] if expiring is not None else None
             else:
                 deadline_key = None
                 if open_deadline:
@@ -712,11 +859,27 @@ class ShardedServiceCluster:
                         open_deadline,
                         key=lambda k: (open_deadline[k], open_members[k][0].request_id),
                     )
-                if deadline_key is not None and (
-                    t_arrival is None or open_deadline[deadline_key] <= t_arrival
-                ):
+                t_deadline = (
+                    open_deadline[deadline_key] if deadline_key is not None else None
+                )
+            t_fault = ctx.next_fault_time() if ctx is not None else None
+            t_retry = ctx.next_retry_time() if ctx is not None else None
+            # Event precedence at timestamp ties: fault < deadline < retry <
+            # arrival (shared with the fast engine through ``due``).
+            if due(t_fault, t_deadline, t_retry, t_arrival):
+                ctx.advance(env, t_fault)
+                continue
+            if due(t_deadline, t_retry, t_arrival):
+                if fair:
+                    for batch in batcher.fire_deadline(expiring):
+                        dispatch_batch(batch)
+                else:
                     close_batch(deadline_key, open_deadline[deadline_key])
-                    continue
+                continue
+            if due(t_retry, t_arrival):
+                retry_request, retry_now = ctx.pop_retry()
+                enqueue(retry_request, retry_now)
+                continue
             if t_arrival is None:
                 break
             request = source.pop()
@@ -740,8 +903,20 @@ class ShardedServiceCluster:
                     + open_count
                     + len(recent_sheds)
                 )
+                if ctx is not None:
+                    # Work the fault layer is holding (retries, parked
+                    # batches) is still demand the autoscaler must see.
+                    queue_depth += ctx.backlog_count()
                 previous = active_count
-                active_count = autoscaler.observe(now, queue_depth)
+                if guaranteed_tenants is not None:
+                    guaranteed_depth = guaranteed_open + (
+                        1 if request.tenant in guaranteed_tenants else 0
+                    )
+                    active_count = autoscaler.observe(
+                        now, queue_depth, guaranteed_depth=guaranteed_depth
+                    )
+                else:
+                    active_count = autoscaler.observe(now, queue_depth)
                 for shard_id in range(previous, active_count):
                     warmup = autoscaler.warmup_seconds
                     if warmup is None:
@@ -749,13 +924,27 @@ class ShardedServiceCluster:
                     state.busy_until[shard_id] = max(
                         state.busy_until[shard_id], now + warmup
                     )
+                if ctx is not None and active_count > previous:
+                    ctx.flush(env)
             if admission is not None:
                 # Backlog of the least-loaded active shard plus the admitted
                 # but undispatched work, spread across the active shards —
                 # the queue depth times the calibrated per-batch cost.
-                backlog = min(
-                    max(state.busy_until[i] - now, 0.0) for i in range(active_count)
-                ) + sum(pending_estimates.values()) / active_count
+                if ctx is not None:
+                    # Only live shards can absorb work; with none, the
+                    # prediction is unbounded and only guaranteed-tier
+                    # traffic gets through (to queue until recovery).
+                    alive = ctx.active_alive(active_count)
+                    if alive:
+                        backlog = min(
+                            max(state.busy_until[i] - now, 0.0) for i in alive
+                        ) + sum(pending_estimates.values()) / len(alive)
+                    else:
+                        backlog = float("inf")
+                else:
+                    backlog = min(
+                        max(state.busy_until[i] - now, 0.0) for i in range(active_count)
+                    ) + sum(pending_estimates.values()) / active_count
                 if fair:
                     # A request the fair batcher would spill pays a full
                     # standalone pass, not the marginal increment of a
@@ -787,17 +976,11 @@ class ShardedServiceCluster:
                     recent_sheds.append(now)
                     source.on_shed(request, now)
                     continue
-            if fair:
-                for batch in batcher.add(request, now):
-                    dispatch_batch(batch)
-                continue
-            if key not in open_members:
-                open_members[key] = []
-                open_deadline[key] = now + self.scheduler.max_wait_seconds
-            open_members[key].append(request)
-            if len(open_members[key]) >= self.scheduler.max_batch_size:
-                close_batch(key, now)
+            enqueue(request, now)
 
+        fault_stats = (
+            ctx.finalize(first_arrival, state.last_finish) if ctx is not None else None
+        )
         makespan = 0.0
         if state.served and first_arrival is not None:
             makespan = state.last_finish - first_arrival
@@ -814,6 +997,7 @@ class ShardedServiceCluster:
             slo=slo,
             decisions=decisions,
             scaling_timeline=list(autoscaler.timeline()) if autoscaler is not None else [],
+            faults=fault_stats,
         )
 
     def serve_workloads(self, workloads: List[WorkloadProfile]) -> ClusterReport:

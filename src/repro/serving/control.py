@@ -386,6 +386,13 @@ class Autoscaler:
             shedding hides overload from the autoscaler entirely (rejected
             requests never enter the queue), and the cluster can wedge at
             ``min_shards`` while shedding nearly everything.
+        guaranteed_scale_up_depth: optional per-shard queue depth of
+            *guaranteed-tier* requests (tenants with ``guaranteed_rps > 0``
+            in the run's SLO policy) that also starts an up streak and
+            blocks scale-down.  A small guaranteed backlog then scales the
+            cluster even while the global depth looks healthy, so paying
+            tenants are not starved behind best-effort load.  ``None``
+            keeps the scaler global-depth-only.
     """
 
     def __init__(
@@ -397,6 +404,7 @@ class Autoscaler:
         hysteresis_observations: int = 3,
         warmup_seconds: Optional[float] = None,
         shed_memory_seconds: float = 1.0,
+        guaranteed_scale_up_depth: Optional[float] = None,
     ) -> None:
         if min_shards < 1:
             raise ValueError("min_shards must be >= 1")
@@ -410,6 +418,8 @@ class Autoscaler:
             raise ValueError("warmup_seconds must be non-negative")
         if shed_memory_seconds < 0:
             raise ValueError("shed_memory_seconds must be non-negative")
+        if guaranteed_scale_up_depth is not None and guaranteed_scale_up_depth <= 0:
+            raise ValueError("guaranteed_scale_up_depth must be > 0")
         self.min_shards = min_shards
         self.max_shards = max_shards
         self.scale_up_depth = scale_up_depth
@@ -417,10 +427,16 @@ class Autoscaler:
         self.hysteresis_observations = hysteresis_observations
         self.warmup_seconds = warmup_seconds
         self.shed_memory_seconds = shed_memory_seconds
+        self.guaranteed_scale_up_depth = guaranteed_scale_up_depth
         self.active = min_shards
         self.events: List[ScalingEvent] = []
         self._above = 0
         self._below = 0
+
+    @property
+    def tenant_aware(self) -> bool:
+        """Whether the scaler watches guaranteed-tier pressure separately."""
+        return self.guaranteed_scale_up_depth is not None
 
     def start(self, now_seconds: float = 0.0) -> int:
         """Reset to the initial active set and record the starting point."""
@@ -430,13 +446,32 @@ class Autoscaler:
         self.events = [ScalingEvent(now_seconds, self.active, "init")]
         return self.active
 
-    def observe(self, now_seconds: float, queue_depth: float) -> int:
-        """Feed one queue-depth observation; returns the new active count."""
+    def observe(
+        self,
+        now_seconds: float,
+        queue_depth: float,
+        guaranteed_depth: Optional[float] = None,
+    ) -> int:
+        """Feed one queue-depth observation; returns the new active count.
+
+        ``guaranteed_depth`` (guaranteed-tier requests currently queueing)
+        only matters on a tenant-aware scaler: breaching
+        ``guaranteed_scale_up_depth`` per shard starts an up streak even
+        when the global depth is calm, and any guaranteed pressure at or
+        above the down threshold vetoes a down streak.
+        """
         per_shard = queue_depth / max(self.active, 1)
-        if per_shard > self.scale_up_depth:
+        guaranteed_per_shard = 0.0
+        if self.guaranteed_scale_up_depth is not None and guaranteed_depth is not None:
+            guaranteed_per_shard = guaranteed_depth / max(self.active, 1)
+        breach_up = per_shard > self.scale_up_depth or (
+            self.guaranteed_scale_up_depth is not None
+            and guaranteed_per_shard > self.guaranteed_scale_up_depth
+        )
+        if breach_up:
             self._above += 1
             self._below = 0
-        elif per_shard < self.scale_down_depth:
+        elif per_shard < self.scale_down_depth and guaranteed_per_shard < self.scale_down_depth:
             self._below += 1
             self._above = 0
         else:
@@ -467,7 +502,9 @@ class ServingController:
     the admission controller from the policy and wires everything into the
     cluster's event loop.  ``slo=None`` disables shedding (the run is then
     only scored against the SLO if one is given), ``autoscaler=None`` keeps
-    every shard active throughout.
+    every shard active throughout, and ``faults`` (a
+    :class:`~repro.serving.faults.FaultSchedule`) injects shard
+    crash/recover/slowdown events into every run this controller serves.
     """
 
     def __init__(
@@ -477,6 +514,7 @@ class ServingController:
         autoscaler: Optional[Autoscaler] = None,
         record_decisions: bool = True,
         batch_aware: bool = False,
+        faults=None,
     ) -> None:
         if autoscaler is not None and autoscaler.max_shards > cluster.num_shards:
             raise ValueError(
@@ -486,6 +524,7 @@ class ServingController:
         self.cluster = cluster
         self.slo = slo
         self.autoscaler = autoscaler
+        self.faults = faults
         self.admission = (
             AdmissionController(
                 slo, record_decisions=record_decisions, batch_aware=batch_aware
@@ -501,4 +540,5 @@ class ServingController:
             slo=self.slo,
             admission=self.admission,
             autoscaler=self.autoscaler,
+            faults=self.faults,
         )

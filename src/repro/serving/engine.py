@@ -42,6 +42,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import StreamingLatencyStats
+from repro.serving.faults import FaultLoopHooks, FaultSchedule, due
 from repro.serving.requests import InferenceRequest
 from repro.serving.scheduler import RequestBatch
 from repro.system.workload import WorkloadProfile
@@ -280,6 +281,7 @@ def serve_trace_fast(
     cluster: "ShardedServiceCluster",
     trace,
     slo: Optional["SLOPolicy"] = None,
+    faults: Optional[FaultSchedule] = None,
 ):
     """Fast offline replay — the ``engine="fast"`` path of ``serve_trace``."""
     from repro.serving.cluster import ClusterReport, ServedRequest
@@ -294,48 +296,108 @@ def serve_trace_fast(
     accumulator = _RunAccumulator(slo)
     merged_cache: Dict[tuple, WorkloadProfile] = {}
     last_finish = 0.0
+    fault_stats = None
+    num_batches = len(batches)
 
-    for batch in batches:
-        members = batch.requests
-        workload = _merged_workload(batch, merged_cache)
-        ready = batch.ready_seconds
-        shard_id = _pick_shard(cluster, heap, batch, workload, num_shards)
-        start = max(ready, heap.busy[shard_id])
-        report, duration = _cached_serve(cluster, cluster.shards[shard_id], workload)
-        finish = start + duration
-        heap.update(shard_id, finish)
-        busy_total[shard_id] += duration
-        shard_requests[shard_id] += len(members)
-        last_finish = max(last_finish, finish)
-        batch_size = len(members)
-        dispatch_delay = start - ready
-        for request in members:
-            batching_delay = ready - request.arrival_seconds
-            served.append(
-                ServedRequest(
-                    request=request,
-                    shard_id=shard_id,
-                    batch_size=batch_size,
-                    batching_delay=batching_delay,
-                    dispatch_delay=dispatch_delay,
-                    service_seconds=duration,
-                    report=report,
+    if faults is None:
+        for batch in batches:
+            members = batch.requests
+            workload = _merged_workload(batch, merged_cache)
+            ready = batch.ready_seconds
+            shard_id = _pick_shard(cluster, heap, batch, workload, num_shards)
+            start = max(ready, heap.busy[shard_id])
+            report, duration = _cached_serve(cluster, cluster.shards[shard_id], workload)
+            finish = start + duration
+            heap.update(shard_id, finish)
+            busy_total[shard_id] += duration
+            shard_requests[shard_id] += len(members)
+            last_finish = max(last_finish, finish)
+            batch_size = len(members)
+            dispatch_delay = start - ready
+            for request in members:
+                batching_delay = ready - request.arrival_seconds
+                served.append(
+                    ServedRequest(
+                        request=request,
+                        shard_id=shard_id,
+                        batch_size=batch_size,
+                        batching_delay=batching_delay,
+                        dispatch_delay=dispatch_delay,
+                        service_seconds=duration,
+                        report=report,
+                    )
                 )
-            )
-            accumulator.push(request, batching_delay, dispatch_delay, duration)
+                accumulator.push(request, batching_delay, dispatch_delay, duration)
+    else:
+        # The fault runtime owns every fault decision; these hooks only
+        # expose the loop's state.  Dispatch goes through the *reference*
+        # ``_pick_shard`` over the heap's authoritative busy list so both
+        # engines pick identically under a fluid (non-prefix) active set.
+        ctx = faults.runtime(num_shards, slo)
+        num_batches = 0
+
+        def commit(batch, shard_id, start, duration, report, finish):
+            nonlocal last_finish, num_batches
+            members = batch.requests
+            ready = batch.ready_seconds
+            shard_requests[shard_id] += len(members)
+            num_batches += 1
+            last_finish = max(last_finish, finish)
+            batch_size = len(members)
+            dispatch_delay = start - ready
+            for request in members:
+                batching_delay = ready - request.arrival_seconds
+                served.append(
+                    ServedRequest(
+                        request=request,
+                        shard_id=shard_id,
+                        batch_size=batch_size,
+                        batching_delay=batching_delay,
+                        dispatch_delay=dispatch_delay,
+                        service_seconds=duration,
+                        report=report,
+                    )
+                )
+                accumulator.push(request, batching_delay, dispatch_delay, duration)
+
+        def add_busy(shard_id: int, seconds: float) -> None:
+            busy_total[shard_id] += seconds
+
+        env = FaultLoopHooks(
+            active_count=lambda: num_shards,
+            busy=lambda shard_id: heap.busy[shard_id],
+            set_busy=heap.update,
+            add_busy=add_busy,
+            merged=lambda batch: _merged_workload(batch, merged_cache),
+            pick=lambda batch, workload, active: cluster._pick_shard(
+                batch, heap.busy, active
+            ),
+            serve=lambda shard_id, workload: _cached_serve(
+                cluster, cluster.shards[shard_id], workload
+            ),
+            commit=commit,
+            on_failed=lambda request, seconds: None,
+        )
+        for batch in batches:
+            ctx.step(env, batch)
+        ctx.drain(env)
+        fault_stats = ctx.finalize(trace[0].arrival_seconds, last_finish)
 
     first_arrival = trace[0].arrival_seconds
+    # A faulted replay can fail every request; an empty run has no span.
+    makespan = last_finish - first_arrival if served else 0.0
     return ClusterReport(
         system=cluster.system_name,
         policy=cluster.policy,
         num_shards=num_shards,
         served=served,
-        num_batches=len(batches),
-        makespan_seconds=last_finish - first_arrival,
+        num_batches=num_batches,
+        makespan_seconds=makespan,
         shard_busy_seconds=busy_total,
         shard_requests=shard_requests,
         slo=slo,
         aggregates=accumulator.aggregates(count=len(served), shed_count=0),
+        faults=fault_stats,
     )
 
 
@@ -346,6 +408,7 @@ def serve_online_fast(
     slo: Optional["SLOPolicy"] = None,
     admission: Optional["AdmissionController"] = None,
     autoscaler: Optional["Autoscaler"] = None,
+    faults: Optional[FaultSchedule] = None,
 ):
     """Fast online co-simulation — the ``engine="fast"`` path of ``serve_online``.
 
@@ -354,6 +417,9 @@ def serve_online_fast(
     with lazy invalidation keyed on the opening request's id), the running
     open-request counter feeding the autoscaler, the shard heap behind
     dispatch and admission-backlog reads, and the serve-transition cache.
+    Under a fault schedule, dispatch and the admission backlog instead go
+    through the shared fault runtime and the reference ``_pick_shard`` (the
+    active set is no longer a prefix), exactly as the reference loop does.
     """
     from repro.serving.cluster import (
         ClusterReport,
@@ -392,9 +458,27 @@ def serve_online_fast(
     if admission is not None:
         admission.reset()
     first_arrival: Optional[float] = None
+    # Guaranteed-tier tenants whose open-queue pressure a tenant-aware
+    # autoscaler watches separately from the global depth.
+    guaranteed_tenants: Optional[frozenset] = None
+    if autoscaler is not None and autoscaler.tenant_aware and slo is not None:
+        guaranteed_tenants = frozenset(
+            tenant
+            for tenant, quota in slo.per_tenant.items()
+            if quota.guaranteed_rps > 0
+        )
+    guaranteed_open = 0
+    ctx = faults.runtime(num_shards, slo) if faults is not None else None
 
     def dispatch_batch(batch: RequestBatch) -> None:
-        nonlocal last_finish, num_batches
+        nonlocal last_finish, num_batches, guaranteed_open
+        if guaranteed_tenants:
+            for request in batch.requests:
+                if request.tenant in guaranteed_tenants:
+                    guaranteed_open -= 1
+        if ctx is not None:
+            ctx.dispatch(batch, env)
+            return
         members = batch.requests
         ready_seconds = batch.ready_seconds
         workload = _merged_workload(batch, merged_cache)
@@ -449,20 +533,108 @@ def serve_online_fast(
             heapq.heappop(deadline_heap)
         return None
 
+    def fault_commit(batch: RequestBatch, shard_id, start, duration, report, finish):
+        nonlocal last_finish, num_batches
+        members = batch.requests
+        ready_seconds = batch.ready_seconds
+        shard_requests[shard_id] += len(members)
+        num_batches += 1
+        last_finish = max(last_finish, finish)
+        batch_size = len(members)
+        dispatch_delay = start - ready_seconds
+        for request in members:
+            batching_delay = ready_seconds - request.arrival_seconds
+            served.append(
+                ServedRequest(
+                    request=request,
+                    shard_id=shard_id,
+                    batch_size=batch_size,
+                    batching_delay=batching_delay,
+                    dispatch_delay=dispatch_delay,
+                    service_seconds=duration,
+                    report=report,
+                )
+            )
+            accumulator.push(request, batching_delay, dispatch_delay, duration)
+        for request in members:
+            pending_estimates.pop(request.request_id, None)
+            heapq.heappush(inflight, finish)
+            source.on_complete(request, finish)
+
+    def fault_failed(request: InferenceRequest, seconds: float) -> None:
+        pending_estimates.pop(request.request_id, None)
+        source.on_shed(request, seconds)
+
+    def add_busy(shard_id: int, seconds: float) -> None:
+        busy_total[shard_id] += seconds
+
+    env = (
+        FaultLoopHooks(
+            active_count=lambda: active_count,
+            busy=lambda shard_id: heap.busy[shard_id],
+            set_busy=heap.update,
+            add_busy=add_busy,
+            merged=lambda batch: _merged_workload(batch, merged_cache),
+            pick=lambda batch, workload, active: cluster._pick_shard(
+                batch, heap.busy, active
+            ),
+            serve=lambda shard_id, workload: _cached_serve(
+                cluster, cluster.shards[shard_id], workload
+            ),
+            commit=fault_commit,
+            on_failed=fault_failed,
+        )
+        if ctx is not None
+        else None
+    )
+
+    def enqueue(request: InferenceRequest, now: float) -> None:
+        nonlocal guaranteed_open, open_count
+        if guaranteed_tenants and request.tenant in guaranteed_tenants:
+            guaranteed_open += 1
+        if fair:
+            for batch in batcher.add(request, now):
+                dispatch_batch(batch)
+            return
+        key = request.workload.batch_key
+        members = open_members.get(key)
+        if members is None:
+            members = []
+            open_members[key] = members
+            deadline = now + scheduler.max_wait_seconds
+            open_deadline[key] = deadline
+            heapq.heappush(deadline_heap, (deadline, request.request_id, key))
+        members.append(request)
+        open_count += 1
+        if len(members) >= scheduler.max_batch_size:
+            close_batch(key, now)
+
     while True:
         t_arrival = source.peek_time()
         if fair:
             expiring = batcher.peek_deadline()
-            if expiring is not None and (t_arrival is None or expiring[0] <= t_arrival):
-                for batch in batcher.fire_deadline(expiring):
-                    dispatch_batch(batch)
-                continue
         else:
             expiring = next_deadline()
-            if expiring is not None and (t_arrival is None or expiring[0] <= t_arrival):
+        t_deadline = expiring[0] if expiring is not None else None
+        t_fault = ctx.next_fault_time() if ctx is not None else None
+        t_retry = ctx.next_retry_time() if ctx is not None else None
+        # Event precedence at timestamp ties: fault < deadline < retry <
+        # arrival (shared with the reference engine through ``due``).
+        if due(t_fault, t_deadline, t_retry, t_arrival):
+            ctx.advance(env, t_fault)
+            continue
+        if due(t_deadline, t_retry, t_arrival):
+            if fair:
+                for batch in batcher.fire_deadline(expiring):
+                    dispatch_batch(batch)
+            else:
                 heapq.heappop(deadline_heap)
                 close_batch(expiring[2], expiring[0])
-                continue
+            continue
+        if due(t_retry, t_arrival):
+            retry_request, retry_now = ctx.pop_retry()
+            enqueue(retry_request, retry_now)
+            continue
         if t_arrival is None:
             break
         request = source.pop()
@@ -477,21 +649,46 @@ def serve_online_fast(
                 recent_sheds.popleft()
             pending = batcher.pending_count if fair else open_count
             queue_depth = 1 + len(inflight) + pending + len(recent_sheds)
+            if ctx is not None:
+                # Work the fault layer is holding (retries, parked batches)
+                # is still demand the autoscaler must see.
+                queue_depth += ctx.backlog_count()
             previous = active_count
-            active_count = autoscaler.observe(now, queue_depth)
+            if guaranteed_tenants is not None:
+                guaranteed_depth = guaranteed_open + (
+                    1 if request.tenant in guaranteed_tenants else 0
+                )
+                active_count = autoscaler.observe(
+                    now, queue_depth, guaranteed_depth=guaranteed_depth
+                )
+            else:
+                active_count = autoscaler.observe(now, queue_depth)
             for shard_id in range(previous, active_count):
                 warmup = autoscaler.warmup_seconds
                 if warmup is None:
                     warmup = cluster.shards[shard_id].warmup_seconds
                 heap.update(shard_id, max(heap.busy[shard_id], now + warmup))
+            if ctx is not None and active_count > previous:
+                ctx.flush(env)
         if admission is not None:
             # Same prediction as the reference loop: least-loaded active
             # backlog plus admitted-but-undispatched work spread across the
             # active shards.  The pending sum is re-reduced (not maintained
             # incrementally) so its float accumulation order matches.
-            backlog = max(heap.min_busy(active_count) - now, 0.0) + sum(
-                pending_estimates.values()
-            ) / active_count
+            if ctx is not None:
+                # Only live shards can absorb work (textually the reference
+                # loop's expression, over the heap's busy list).
+                alive = ctx.active_alive(active_count)
+                if alive:
+                    backlog = min(
+                        max(heap.busy[i] - now, 0.0) for i in alive
+                    ) + sum(pending_estimates.values()) / len(alive)
+                else:
+                    backlog = float("inf")
+            else:
+                backlog = max(heap.min_busy(active_count) - now, 0.0) + sum(
+                    pending_estimates.values()
+                ) / active_count
             if fair:
                 # Mirror the reference loop: spill-bound requests pay a
                 # full standalone pass, not the marginal increment.
@@ -521,22 +718,11 @@ def serve_online_fast(
                 recent_sheds.append(now)
                 source.on_shed(request, now)
                 continue
-        if fair:
-            for batch in batcher.add(request, now):
-                dispatch_batch(batch)
-            continue
-        members = open_members.get(key)
-        if members is None:
-            members = []
-            open_members[key] = members
-            deadline = now + scheduler.max_wait_seconds
-            open_deadline[key] = deadline
-            heapq.heappush(deadline_heap, (deadline, request.request_id, key))
-        members.append(request)
-        open_count += 1
-        if len(members) >= scheduler.max_batch_size:
-            close_batch(key, now)
+        enqueue(request, now)
 
+    fault_stats = (
+        ctx.finalize(first_arrival, last_finish) if ctx is not None else None
+    )
     makespan = 0.0
     if served and first_arrival is not None:
         makespan = last_finish - first_arrival
@@ -556,4 +742,5 @@ def serve_online_fast(
         aggregates=accumulator.aggregates(
             count=len(served), shed_count=len(shed_records)
         ),
+        faults=fault_stats,
     )

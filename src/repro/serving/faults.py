@@ -1,0 +1,633 @@
+"""Deterministic fault injection and recovery for the serving stack.
+
+Every shard in :class:`~repro.serving.cluster.ShardedServiceCluster` is
+immortal by default.  This module makes failure a first-class simulated
+event: a :class:`FaultSchedule` lists timestamped **crash**, **recover**
+and **slowdown** events per shard, and both serving engines consume the
+schedule through one shared :class:`FaultRuntime` so their reports stay
+byte-identical under every schedule.
+
+Fault model
+-----------
+* ``crash`` removes a shard from the dispatchable set at its timestamp.
+  Queued batches whose start would fall past the crash are **drained and
+  migrated**: re-dispatched through the cluster's normal dispatch policy
+  once the crash takes effect (the surviving set is only known then).
+  Batches already in flight at the crash instant fail and each member is
+  **retried with exponential backoff** (``retry_backoff_seconds * 2**k``
+  for attempt ``k``) up to a per-request ``retry_budget``; requests that
+  exhaust the budget are counted ``failed``, exactly once, so
+  ``offered == served + shed + failed`` always holds.
+* ``recover`` returns the shard at its timestamp (and clears any
+  slowdown).  Parked work re-dispatches immediately.
+* ``slowdown`` multiplies the shard's service time by ``factor`` until
+  the next slowdown or recover event.
+
+``fault_aware=False`` models the pre-fault-tolerance stack as a
+benchmark baseline: dispatch stays blind to liveness, a dead shard
+fails its requests instantly without advancing its busy horizon (so
+least-loaded dispatch keeps feeding the "idle-looking" dead shard —
+the no-health-check death spiral), queued work dies with its shard at
+a crash, and in-flight failures are terminal — no drain, no
+migration, no retries.
+
+:class:`RandomFaults` generates reproducible schedules from a seed,
+mirroring the arrival-generator idiom (`numpy` ``default_rng``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.requests import InferenceRequest
+from repro.serving.scheduler import RequestBatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serving.control import SLOPolicy
+
+FAULT_CRASH = "crash"
+FAULT_RECOVER = "recover"
+FAULT_SLOWDOWN = "slowdown"
+
+#: The recognised fault event kinds.
+FAULT_KINDS = (FAULT_CRASH, FAULT_RECOVER, FAULT_SLOWDOWN)
+
+
+def due(when: Optional[float], *others: Optional[float]) -> bool:
+    """True when ``when`` is scheduled and no later than every other horizon.
+
+    The serving loops rank their four event sources (fault, batch
+    deadline, retry, arrival) with this one predicate so both engines
+    break timestamp ties identically: a source fires when it is due and
+    every source ranked after it is either exhausted or no earlier.
+    """
+    if when is None:
+        return False
+    return all(other is None or when <= other for other in others)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timestamped fault event targeting one shard."""
+
+    seconds: float
+    shard_id: int
+    kind: str
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if not math.isfinite(self.seconds) or self.seconds < 0:
+            raise ValueError(f"fault event time must be finite and >= 0, got {self.seconds!r}")
+        if self.shard_id < 0:
+            raise ValueError(f"fault event shard_id must be >= 0, got {self.shard_id}")
+        if self.kind == FAULT_SLOWDOWN and self.factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1.0, got {self.factor!r}")
+
+    def as_dict(self) -> dict:
+        return {
+            "seconds": self.seconds,
+            "shard_id": self.shard_id,
+            "kind": self.kind,
+            "factor": self.factor,
+        }
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A deterministic, validated sequence of fault events plus retry policy.
+
+    Events are kept sorted by ``(seconds, shard_id)``.  Per shard the
+    sequence must alternate sensibly — a crash requires the shard up, a
+    recover requires it down, a slowdown requires it up — and two events
+    may not target the same shard at the same instant (the outcome would
+    be order-dependent).
+    """
+
+    events: Tuple[FaultEvent, ...]
+    retry_budget: int = 3
+    retry_backoff_seconds: float = 0.05
+    fault_aware: bool = True
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: (e.seconds, e.shard_id)))
+        object.__setattr__(self, "events", ordered)
+        if self.retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, got {self.retry_budget}")
+        if self.retry_backoff_seconds <= 0:
+            raise ValueError(
+                f"retry_backoff_seconds must be > 0, got {self.retry_backoff_seconds!r}"
+            )
+        down: Dict[int, bool] = {}
+        last_at: Dict[int, float] = {}
+        for event in ordered:
+            shard = event.shard_id
+            if last_at.get(shard) == event.seconds:
+                raise ValueError(
+                    f"two fault events target shard {shard} at t={event.seconds!r}; "
+                    "their order would be ambiguous"
+                )
+            last_at[shard] = event.seconds
+            if event.kind == FAULT_CRASH:
+                if down.get(shard, False):
+                    raise ValueError(f"shard {shard} crashes at t={event.seconds!r} while down")
+                down[shard] = True
+            elif event.kind == FAULT_RECOVER:
+                if not down.get(shard, False):
+                    raise ValueError(f"shard {shard} recovers at t={event.seconds!r} while up")
+                down[shard] = False
+            elif down.get(shard, False):
+                raise ValueError(f"shard {shard} slows down at t={event.seconds!r} while down")
+
+    def validate_for(self, num_shards: int) -> None:
+        """Raise unless every event targets a shard the cluster actually has."""
+        for event in self.events:
+            if event.shard_id >= num_shards:
+                raise ValueError(
+                    f"fault event targets shard {event.shard_id} but the cluster "
+                    f"has only {num_shards} shards"
+                )
+
+    def as_dict(self) -> dict:
+        return {
+            "events": [event.as_dict() for event in self.events],
+            "retry_budget": self.retry_budget,
+            "retry_backoff_seconds": self.retry_backoff_seconds,
+            "fault_aware": self.fault_aware,
+        }
+
+    def runtime(self, num_shards: int, slo: Optional["SLOPolicy"] = None) -> "FaultRuntime":
+        """Build the per-run mutable state for a cluster of ``num_shards``."""
+        self.validate_for(num_shards)
+        return FaultRuntime(self, num_shards, slo)
+
+
+@dataclass(frozen=True)
+class RandomFaults:
+    """Seeded crash/recover/slowdown generator (the arrival-generator idiom).
+
+    Each shard alternates exponentially distributed up and down periods;
+    crashes are generated while they fall inside ``horizon_seconds`` and
+    every outage is closed by a recover event (possibly past the horizon)
+    so no shard stays dead forever.  With probability
+    ``slowdown_probability`` an up period also degrades to
+    ``slowdown_factor`` at a uniform point before its crash.
+    """
+
+    num_shards: int
+    horizon_seconds: float
+    mean_uptime_seconds: float
+    mean_downtime_seconds: float
+    slowdown_probability: float = 0.0
+    slowdown_factor: float = 2.0
+    retry_budget: int = 3
+    retry_backoff_seconds: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError(f"num_shards must be > 0, got {self.num_shards}")
+        if self.horizon_seconds <= 0:
+            raise ValueError(f"horizon_seconds must be > 0, got {self.horizon_seconds!r}")
+        if self.mean_uptime_seconds <= 0 or self.mean_downtime_seconds <= 0:
+            raise ValueError("mean uptime/downtime must be > 0")
+        if not 0.0 <= self.slowdown_probability <= 1.0:
+            raise ValueError(
+                f"slowdown_probability must be in [0, 1], got {self.slowdown_probability!r}"
+            )
+        if self.slowdown_factor < 1.0:
+            raise ValueError(f"slowdown_factor must be >= 1.0, got {self.slowdown_factor!r}")
+
+    def schedule(self) -> FaultSchedule:
+        """Generate the deterministic schedule for this configuration."""
+        rng = np.random.default_rng(self.seed)
+        events: List[FaultEvent] = []
+        for shard_id in range(self.num_shards):
+            up_start = 0.0
+            crash_at = float(rng.exponential(self.mean_uptime_seconds))
+            while crash_at < self.horizon_seconds:
+                if self.slowdown_probability > 0.0 and rng.random() < self.slowdown_probability:
+                    slow_at = up_start + float(rng.uniform(0.0, crash_at - up_start))
+                    if up_start < slow_at < crash_at:
+                        events.append(
+                            FaultEvent(slow_at, shard_id, FAULT_SLOWDOWN, self.slowdown_factor)
+                        )
+                events.append(FaultEvent(crash_at, shard_id, FAULT_CRASH))
+                recover_at = crash_at + float(rng.exponential(self.mean_downtime_seconds))
+                events.append(FaultEvent(recover_at, shard_id, FAULT_RECOVER))
+                up_start = recover_at
+                crash_at = recover_at + float(rng.exponential(self.mean_uptime_seconds))
+        return FaultSchedule(
+            events=tuple(events),
+            retry_budget=self.retry_budget,
+            retry_backoff_seconds=self.retry_backoff_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class FaultStats:
+    """The faults section of a :class:`~repro.serving.cluster.ClusterReport`."""
+
+    migrated: int
+    retried: int
+    failed: int
+    downtime_seconds: Tuple[float, ...]
+    degraded_seconds: float
+    served_degraded: int
+    slo_met_degraded: int
+
+    @property
+    def degraded_slo_attainment(self) -> float:
+        """SLO attainment of requests completing inside degraded windows."""
+        if self.served_degraded == 0:
+            return 1.0
+        return self.slo_met_degraded / self.served_degraded
+
+    def as_dict(self) -> dict:
+        return {
+            "migrated": self.migrated,
+            "retried": self.retried,
+            "failed": self.failed,
+            "downtime_seconds": list(self.downtime_seconds),
+            "degraded_seconds": self.degraded_seconds,
+            "served_degraded": self.served_degraded,
+            "slo_met_degraded": self.slo_met_degraded,
+            "degraded_slo_attainment": self.degraded_slo_attainment,
+        }
+
+
+class FaultLoopHooks:
+    """How a serving loop exposes its mutable state to the fault runtime.
+
+    Both engines drive the *same* :class:`FaultRuntime` code through this
+    bundle of callbacks, which is what keeps their reports byte-identical
+    under faults: the runtime owns every fault decision, the hooks only
+    read/write loop-local state (busy horizons, served records, arrival
+    sources).
+    """
+
+    __slots__ = (
+        "active_count",
+        "busy",
+        "set_busy",
+        "add_busy",
+        "merged",
+        "pick",
+        "serve",
+        "commit",
+        "on_failed",
+    )
+
+    def __init__(
+        self,
+        *,
+        active_count: Callable[[], int],
+        busy: Callable[[int], float],
+        set_busy: Callable[[int, float], None],
+        add_busy: Callable[[int, float], None],
+        merged: Callable[[RequestBatch], object],
+        pick: Callable[[RequestBatch, object, Sequence[int]], int],
+        serve: Callable[[int, object], Tuple[object, float]],
+        commit: Callable[[RequestBatch, int, float, float, object, float], None],
+        on_failed: Callable[[InferenceRequest, float], None],
+    ) -> None:
+        self.active_count = active_count
+        self.busy = busy
+        self.set_busy = set_busy
+        self.add_busy = add_busy
+        self.merged = merged
+        self.pick = pick
+        self.serve = serve
+        self.commit = commit
+        self.on_failed = on_failed
+
+
+class FaultRuntime:
+    """Per-run mutable fault state shared by both serving engines.
+
+    Tracks shard liveness and slowdown factors as events apply, owns the
+    retry heap and the parked-batch list, and performs every
+    fault-sensitive dispatch through :meth:`dispatch`.  Built via
+    :meth:`FaultSchedule.runtime`.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        num_shards: int,
+        slo: Optional["SLOPolicy"] = None,
+    ) -> None:
+        self.schedule = schedule
+        self.num_shards = num_shards
+        self.slo = slo
+        self.alive = [True] * num_shards
+        self.factor = [1.0] * num_shards
+        self._events = list(schedule.events)
+        self._cursor = 0
+        # Static views of the schedule: per-shard crash instants, per-shard
+        # dead intervals and the merged cluster-degraded intervals (half-open,
+        # an unclosed outage extends to +inf).
+        self._crashes: List[List[float]] = [[] for _ in range(num_shards)]
+        self._dead: List[List[Tuple[float, float]]] = [[] for _ in range(num_shards)]
+        open_since: List[Optional[float]] = [None] * num_shards
+        dead_count = 0
+        degraded_open: Optional[float] = None
+        self._degraded: List[Tuple[float, float]] = []
+        for event in self._events:
+            shard = event.shard_id
+            if event.kind == FAULT_CRASH:
+                self._crashes[shard].append(event.seconds)
+                open_since[shard] = event.seconds
+                dead_count += 1
+                if dead_count == 1:
+                    degraded_open = event.seconds
+            elif event.kind == FAULT_RECOVER:
+                self._dead[shard].append((open_since[shard], event.seconds))
+                open_since[shard] = None
+                dead_count -= 1
+                if dead_count == 0:
+                    self._degraded.append((degraded_open, event.seconds))
+                    degraded_open = None
+        for shard in range(num_shards):
+            if open_since[shard] is not None:
+                self._dead[shard].append((open_since[shard], math.inf))
+        if degraded_open is not None:
+            self._degraded.append((degraded_open, math.inf))
+        self._degraded_starts = [lo for lo, _ in self._degraded]
+        self._retries: List[Tuple[float, int, InferenceRequest]] = []
+        self._retry_seq = 0
+        self._attempts: Dict[int, int] = {}
+        self.parked: List[RequestBatch] = []
+        self.migrated = 0
+        self.retried = 0
+        self.failed = 0
+        self.served_degraded = 0
+        self.slo_met_degraded = 0
+
+    # ------------------------------------------------------ schedule queries
+    def next_fault_time(self) -> Optional[float]:
+        """Timestamp of the next unapplied fault event (None when exhausted)."""
+        if self._cursor >= len(self._events):
+            return None
+        return self._events[self._cursor].seconds
+
+    def next_crash_after(self, shard_id: int, seconds: float) -> Optional[float]:
+        """The shard's first crash strictly after ``seconds`` (None: never)."""
+        crashes = self._crashes[shard_id]
+        index = bisect_right(crashes, seconds)
+        return crashes[index] if index < len(crashes) else None
+
+    def degraded_at(self, seconds: float) -> bool:
+        """Whether at least one shard is down at ``seconds``."""
+        index = bisect_right(self._degraded_starts, seconds) - 1
+        return index >= 0 and seconds < self._degraded[index][1]
+
+    # ------------------------------------------------------- dispatch planes
+    def active_alive(self, active_count: int) -> List[int]:
+        """The dispatchable shard set: the autoscaler's target prefix minus
+        dead shards, topped up with live standby shards past the prefix so
+        crashed capacity is replaced while provisioned spares exist."""
+        if not self.schedule.fault_aware:
+            return list(range(active_count))
+        active = [s for s in range(active_count) if self.alive[s]]
+        missing = active_count - len(active)
+        for shard in range(active_count, self.num_shards):
+            if missing == 0:
+                break
+            if self.alive[shard]:
+                active.append(shard)
+                missing -= 1
+        return active
+
+    def backlog_count(self) -> int:
+        """Requests the fault layer is holding (retry heap + parked batches)."""
+        return len(self._retries) + sum(len(b.requests) for b in self.parked)
+
+    def next_retry_time(self) -> Optional[float]:
+        return self._retries[0][0] if self._retries else None
+
+    def pop_retry(self) -> Tuple[InferenceRequest, float]:
+        retry_at, _seq, request = heapq.heappop(self._retries)
+        return request, retry_at
+
+    def advance(self, env: FaultLoopHooks, until: float) -> None:
+        """Apply every fault event due at or before ``until``, then flush."""
+        changed = False
+        while self._cursor < len(self._events) and self._events[self._cursor].seconds <= until:
+            event = self._events[self._cursor]
+            self._cursor += 1
+            shard = event.shard_id
+            if event.kind == FAULT_CRASH:
+                self.alive[shard] = False
+            elif event.kind == FAULT_RECOVER:
+                self.alive[shard] = True
+                self.factor[shard] = 1.0
+                # A recovered shard rejoins idle no earlier than its revival.
+                env.set_busy(shard, max(env.busy(shard), event.seconds))
+            else:
+                self.factor[shard] = event.factor
+            changed = True
+        if changed:
+            self.flush(env)
+
+    def flush(self, env: FaultLoopHooks) -> None:
+        """Re-dispatch parked batches now that capacity may be back."""
+        if not self.parked or not self.active_alive(env.active_count()):
+            return
+        pending, self.parked = self.parked, []
+        for batch in pending:
+            self.dispatch(batch, env)
+
+    def dispatch(self, batch: RequestBatch, env: FaultLoopHooks) -> None:
+        """Dispatch ``batch`` with full fault semantics (park / migrate /
+        in-flight failure / commit)."""
+        if not self.schedule.fault_aware:
+            self._dispatch_oblivious(batch, env)
+            return
+        active = self.active_alive(env.active_count())
+        if not active:
+            self.parked.append(batch)
+            return
+        workload = env.merged(batch)
+        # A shard whose queue extends past its own next crash would sit the
+        # batch behind doomed work; drain to another live candidate instead,
+        # and only park (until the earliest of those crashes takes effect)
+        # when every live shard is doomed first.
+        candidates = active
+        migrated = False
+        while True:
+            shard_id = env.pick(batch, workload, candidates)
+            start = max(batch.ready_seconds, env.busy(shard_id))
+            crash_at = self.next_crash_after(shard_id, batch.ready_seconds)
+            if crash_at is None or crash_at > start:
+                break
+            migrated = True
+            candidates = [s for s in candidates if s != shard_id]
+            if not candidates:
+                self.migrated += len(batch.requests)
+                earliest = min(
+                    crash
+                    for crash in (
+                        self.next_crash_after(s, batch.ready_seconds) for s in active
+                    )
+                    if crash is not None
+                )
+                self.parked.append(
+                    RequestBatch(requests=batch.requests, ready_seconds=earliest)
+                )
+                return
+        if migrated:
+            self.migrated += len(batch.requests)
+        report, duration = env.serve(shard_id, workload)
+        duration = duration * self.factor[shard_id]
+        finish = start + duration
+        if crash_at is not None and crash_at < finish:
+            # In-flight failure: the pass dies with the shard; each member
+            # retries with exponential backoff until its budget runs out.
+            env.set_busy(shard_id, crash_at)
+            env.add_busy(shard_id, crash_at - start)
+            for request in batch.requests:
+                self._retry_or_fail(request, crash_at, env)
+            return
+        env.set_busy(shard_id, finish)
+        env.add_busy(shard_id, duration)
+        env.commit(batch, shard_id, start, duration, report, finish)
+        self._note_degraded(batch, start, duration, finish)
+
+    def _dispatch_oblivious(self, batch: RequestBatch, env: FaultLoopHooks) -> None:
+        """The fault-oblivious baseline: dispatch is blind to liveness.
+
+        A dead shard fails requests instantly (connection refused) without
+        advancing its busy horizon — so to least-loaded dispatch it looks
+        *idle* and keeps attracting traffic for the whole outage, the
+        classic no-health-check death spiral.  Work already sitting in a
+        shard's queue when the crash hits dies with the shard, and in-flight
+        failures are terminal: nothing migrates, nothing retries.
+        """
+        active = list(range(env.active_count()))
+        workload = env.merged(batch)
+        shard_id = env.pick(batch, workload, active)
+        if not self.alive[shard_id]:
+            # Fail fast: the dead shard's horizon stays frozen, so dispatch
+            # never learns to route around it.
+            for request in batch.requests:
+                self.failed += 1
+                env.on_failed(request, batch.ready_seconds)
+            return
+        start = max(batch.ready_seconds, env.busy(shard_id))
+        crash_at = self.next_crash_after(shard_id, batch.ready_seconds)
+        if crash_at is not None and crash_at <= start:
+            # The batch sat in the shard's queue when the crash hit: the
+            # queue dies with the shard and nothing resubmits the work.
+            for request in batch.requests:
+                self.failed += 1
+                env.on_failed(request, crash_at)
+            return
+        report, duration = env.serve(shard_id, workload)
+        duration = duration * self.factor[shard_id]
+        finish = start + duration
+        if crash_at is not None and crash_at < finish:
+            env.set_busy(shard_id, crash_at)
+            env.add_busy(shard_id, crash_at - start)
+            for request in batch.requests:
+                self.failed += 1
+                env.on_failed(request, crash_at)
+            return
+        env.set_busy(shard_id, finish)
+        env.add_busy(shard_id, duration)
+        env.commit(batch, shard_id, start, duration, report, finish)
+        self._note_degraded(batch, start, duration, finish)
+
+    def _retry_or_fail(self, request: InferenceRequest, seconds: float, env: FaultLoopHooks) -> None:
+        attempt = self._attempts.get(request.request_id, 0)
+        if attempt < self.schedule.retry_budget:
+            self._attempts[request.request_id] = attempt + 1
+            self.retried += 1
+            retry_at = seconds + self.schedule.retry_backoff_seconds * (2.0 ** attempt)
+            heapq.heappush(self._retries, (retry_at, self._retry_seq, request))
+            self._retry_seq += 1
+        else:
+            self.failed += 1
+            env.on_failed(request, seconds)
+
+    def _note_degraded(
+        self, batch: RequestBatch, start: float, duration: float, finish: float
+    ) -> None:
+        if not self.degraded_at(finish):
+            return
+        for request in batch.requests:
+            self.served_degraded += 1
+            sojourn = (
+                (batch.ready_seconds - request.arrival_seconds)
+                + (start - batch.ready_seconds)
+                + duration
+            )
+            if self.slo is None or sojourn <= self.slo.slo_for(request.workload, request.tenant):
+                self.slo_met_degraded += 1
+
+    # -------------------------------------------------------- offline replay
+    def _settle_retries(self, env: FaultLoopHooks, until: Optional[float]) -> None:
+        while True:
+            retry_at = self.next_retry_time()
+            if retry_at is None or (until is not None and retry_at > until):
+                return
+            self.advance(env, retry_at)
+            if self.next_retry_time() != retry_at:
+                continue  # the advance re-dispatched work and moved the horizon
+            request, at = self.pop_retry()
+            self.dispatch(RequestBatch(requests=[request], ready_seconds=at), env)
+
+    def step(self, env: FaultLoopHooks, batch: RequestBatch) -> None:
+        """Offline replay: settle every retry and fault event due before
+        ``batch`` closes, then dispatch it."""
+        self._settle_retries(env, batch.ready_seconds)
+        self.advance(env, batch.ready_seconds)
+        self.dispatch(batch, env)
+
+    def drain(self, env: FaultLoopHooks) -> None:
+        """Settle all remaining retries and fault events after the last batch."""
+        while True:
+            self._settle_retries(env, None)
+            if self._cursor < len(self._events):
+                self.advance(env, self._events[self._cursor].seconds)
+                continue
+            break
+
+    # -------------------------------------------------------------- summary
+    def finalize(self, first_arrival: Optional[float], last_finish: float) -> FaultStats:
+        """Fail whatever is still parked and summarise the run's fault story.
+
+        Downtime and degraded windows are clipped to the observed run span
+        ``[first_arrival, last_finish]`` so an outage scheduled past the end
+        of traffic does not inflate the stats.
+        """
+        for batch in self.parked:
+            self.failed += len(batch.requests)
+        self.parked = []
+        start = first_arrival if first_arrival is not None else 0.0
+        end = max(last_finish, start)
+
+        def clipped(lo: float, hi: float) -> float:
+            return max(0.0, min(hi, end) - max(lo, start))
+
+        downtime = tuple(
+            sum(clipped(lo, hi) for lo, hi in self._dead[shard])
+            for shard in range(self.num_shards)
+        )
+        degraded = sum(clipped(lo, hi) for lo, hi in self._degraded)
+        return FaultStats(
+            migrated=self.migrated,
+            retried=self.retried,
+            failed=self.failed,
+            downtime_seconds=downtime,
+            degraded_seconds=degraded,
+            served_degraded=self.served_degraded,
+            slo_met_degraded=self.slo_met_degraded,
+        )

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import math
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Iterator, List, NamedTuple, Optional, Sequence, Union
@@ -373,6 +374,21 @@ class RequestTrace:
                 f"trace capture truncated: header says {header['num_requests']} "
                 f"requests, found {len(ids)}"
             )
+        # ``from_arrays`` sorts by arrival, which would silently repair a
+        # corrupted capture; captures are written time-ordered, so reject
+        # out-of-order or negative timestamps instead of masking them.
+        for position, seconds in enumerate(arrivals):
+            if not math.isfinite(seconds) or seconds < 0.0:
+                raise ValueError(
+                    f"trace capture has a negative or non-finite arrival "
+                    f"timestamp {seconds!r} at request {position}: {path}"
+                )
+            if position > 0 and seconds < arrivals[position - 1]:
+                raise ValueError(
+                    f"trace capture timestamps are not monotonic: request "
+                    f"{position} arrives at {seconds!r} after "
+                    f"{arrivals[position - 1]!r}: {path}"
+                )
         return cls.from_arrays(
             np.asarray(arrivals, dtype=np.float64),
             pool,

@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.serving import (
+    AdmissionController,
     Autoscaler,
     BatchScheduler,
     BurstyArrivals,
@@ -26,6 +27,7 @@ from repro.serving import (
     ENGINE_FAST,
     ENGINES,
     OpenLoopArrivals,
+    RandomFaults,
     ServingController,
     ShardedServiceCluster,
     SLOPolicy,
@@ -121,6 +123,37 @@ def _tenant_report(services, engine: str = ENGINE_FAST):
     return controller.serve(TraceArrivals(_tenant_trace()))
 
 
+def _faulted_report(services, engine: str = ENGINE_FAST):
+    """Online run under a seeded crash/recover/slowdown schedule.
+
+    Exercises the whole fault path — migration parking, retry backoff,
+    budget-exhausted failures, degraded-window accounting, liveness-aware
+    admission — so any drift in the fault runtime's event ordering or float
+    expressions lands here (the chosen seed produces nonzero migrated,
+    retried AND failed counts).
+    """
+    trace = OpenLoopArrivals(GOLDEN_MIX, rate_rps=400.0, seed=43).trace(48)
+    faults = RandomFaults(
+        num_shards=3,
+        horizon_seconds=trace[-1].arrival_seconds,
+        mean_uptime_seconds=0.02,
+        mean_downtime_seconds=0.08,
+        slowdown_probability=0.25,
+        slowdown_factor=2.5,
+        retry_budget=1,
+        retry_backoff_seconds=0.002,
+        seed=47,
+    ).schedule()
+    cluster = ShardedServiceCluster(
+        services["DynPre"], num_shards=3, scheduler=_scheduler(), engine=engine
+    )
+    slo = SLOPolicy(default_slo_seconds=0.5)
+    admission = AdmissionController(policy=slo)
+    return cluster.serve_online(
+        TraceArrivals(trace), slo=slo, admission=admission, faults=faults
+    )
+
+
 def _render(report) -> str:
     return json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
 
@@ -164,6 +197,17 @@ def test_tenant_report_matches_golden(golden_services, engine):
     )
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+def test_faulted_report_matches_golden(golden_services, engine):
+    rendered = _render(_faulted_report(golden_services, engine))
+    expected = _golden_path("faulted").read_text()
+    assert rendered == expected, (
+        f"faulted ClusterReport (engine {engine!r}) drifted from its golden "
+        "copy; if the change is intentional, regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_reports.py --regen`"
+    )
+
+
 @pytest.mark.parametrize("policy", DISPATCH_POLICIES)
 def test_offline_report_stable_across_runs(golden_services, policy):
     """Two fresh clusters over the same trace render identically."""
@@ -184,6 +228,12 @@ def test_tenant_report_stable_across_runs(golden_services):
     )
 
 
+def test_faulted_report_stable_across_runs(golden_services):
+    assert _render(_faulted_report(golden_services)) == _render(
+        _faulted_report(golden_services)
+    )
+
+
 def regenerate_all() -> None:
     """Rewrite every golden file from the current implementation."""
     services = build_services()
@@ -195,6 +245,8 @@ def regenerate_all() -> None:
     print(f"wrote {_golden_path('controlled')}")
     _golden_path("tenant-fairness").write_text(_render(_tenant_report(services)))
     print(f"wrote {_golden_path('tenant-fairness')}")
+    _golden_path("faulted").write_text(_render(_faulted_report(services)))
+    print(f"wrote {_golden_path('faulted')}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -169,6 +169,43 @@ class TestRoundTrip:
         with pytest.raises(ValueError, match="tenant"):
             RequestTrace.from_jsonl(missing_tenant)
 
+    def test_rejects_tampered_timestamps(self, tmp_path):
+        """``from_arrays`` sorts by arrival, so a capture with shuffled or
+        negative timestamps would load "successfully" with silently repaired
+        ordering — replay must reject it instead of masking the corruption."""
+        lines = GOLDEN_PATH.read_text().splitlines()
+        first_request = next(
+            i for i, line in enumerate(lines)
+            if json.loads(line).get("kind") == "request"
+        )
+
+        negative = tmp_path / "negative.jsonl"
+        record = json.loads(lines[first_request])
+        record["arrival_seconds"] = -0.5
+        negative.write_text(
+            "\n".join(lines[:first_request] + [json.dumps(record, sort_keys=True)]
+                      + lines[first_request + 1:]) + "\n"
+        )
+        with pytest.raises(ValueError, match="negative"):
+            RequestTrace.from_jsonl(negative)
+
+        shuffled = tmp_path / "shuffled.jsonl"
+        swapped = list(lines)
+        swapped[first_request], swapped[-1] = swapped[-1], swapped[first_request]
+        shuffled.write_text("\n".join(swapped) + "\n")
+        with pytest.raises(ValueError, match="monotonic"):
+            RequestTrace.from_jsonl(shuffled)
+
+        non_finite = tmp_path / "non_finite.jsonl"
+        record = json.loads(lines[first_request])
+        record["arrival_seconds"] = float("nan")
+        non_finite.write_text(
+            "\n".join(lines[:first_request] + [json.dumps(record, sort_keys=True)]
+                      + lines[first_request + 1:]) + "\n"
+        )
+        with pytest.raises(ValueError, match="negative or non-finite"):
+            RequestTrace.from_jsonl(non_finite)
+
 
 def regenerate() -> None:
     path = _golden_trace().to_jsonl(GOLDEN_PATH)
