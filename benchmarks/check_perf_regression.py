@@ -20,6 +20,12 @@ Three committed-vs-fresh comparisons:
   and fails when the fresh fault-aware/fault-oblivious goodput ratio drops
   below ``tolerance * committed_ratio`` or the benchmark's own absolute
   gate, or when the stress run's conservation invariant breaks.
+* **Graceful degradation** — reads the committed
+  ``BENCH_graceful_degradation.json``, runs a fresh ``--quick`` pass of
+  ``benchmarks/bench_graceful_degradation.py``, and fails when the fresh
+  tiered/binary SLO-weighted goodput ratio drops below
+  ``tolerance * committed_ratio`` or the benchmark's own absolute gate, or
+  when either run breaks the per-tier conservation invariant.
 
 Relative tolerances absorb CI-runner noise; the absolute floors catch a
 fast path that was quietly disabled altogether.
@@ -46,6 +52,7 @@ for path in (str(_SRC), str(REPO_ROOT / "benchmarks")):
 
 import bench_engine_speed
 import bench_fault_tolerance
+import bench_graceful_degradation
 import bench_perf_preprocessing
 
 #: Fresh speedup must reach this fraction of the committed speedup.
@@ -180,6 +187,44 @@ def _check_fault_tolerance(args) -> List[str]:
     return failures
 
 
+def _check_graceful_degradation(args) -> List[str]:
+    if not args.degradation_baseline.exists():
+        return [
+            f"graceful-degradation: committed baseline {args.degradation_baseline} "
+            "is missing — regenerate with "
+            "`python benchmarks/bench_graceful_degradation.py` and commit it"
+        ]
+    committed = json.loads(args.degradation_baseline.read_text())
+
+    print("\nrunning fresh --quick graceful-degradation benchmark...\n")
+    fresh = bench_graceful_degradation.run(quick=True)
+
+    failures: List[str] = []
+    floor = max(
+        args.tolerance * committed["weighted_goodput_ratio"],
+        fresh["min_weighted_goodput_ratio"],
+    )
+    verdict = "ok" if fresh["weighted_goodput_ratio"] >= floor else "REGRESSION"
+    print(
+        f"tiering: committed {committed['weighted_goodput_ratio']:6.2f}x | "
+        f"fresh {fresh['weighted_goodput_ratio']:6.2f}x | floor {floor:6.2f}x | {verdict}"
+    )
+    if fresh["weighted_goodput_ratio"] < floor:
+        failures.append(
+            f"graceful-degradation: fresh tiered/binary SLO-weighted goodput ratio "
+            f"{fresh['weighted_goodput_ratio']:.2f}x below floor {floor:.2f}x "
+            f"(committed {committed['weighted_goodput_ratio']:.2f}x, "
+            f"tolerance {args.tolerance})"
+        )
+    for label in ("binary", "tiered"):
+        if not fresh[label]["conserved"]:
+            failures.append(
+                f"graceful-degradation: {label} run broke conservation "
+                "(offered != served_full + served_degraded + shed + failed)"
+            )
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -199,6 +244,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=Path,
         default=bench_fault_tolerance.RESULT_PATH,
         help="committed fault-tolerance benchmark JSON to compare against",
+    )
+    parser.add_argument(
+        "--degradation-baseline",
+        type=Path,
+        default=bench_graceful_degradation.RESULT_PATH,
+        help="committed graceful-degradation benchmark JSON to compare against",
     )
     parser.add_argument(
         "--tolerance",
@@ -223,6 +274,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = _check_preprocessing(args)
     failures += _check_engine(args)
     failures += _check_fault_tolerance(args)
+    failures += _check_graceful_degradation(args)
 
     if failures:
         print("\nPERF REGRESSION DETECTED:", file=sys.stderr)

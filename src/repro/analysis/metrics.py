@@ -353,12 +353,21 @@ class GoodputStats:
     dropped silently), and ``goodput_rps <= throughput_rps`` because only
     served requests that met their SLO count as goodput.
 
+    ``served`` further splits by quality tier: under a degradation policy
+    (see :class:`~repro.serving.control.DegradationPolicy`) a request may
+    complete at a cheaper degraded profile instead of being shed, so
+    ``served == served_full + served_degraded`` and the full conservation
+    identity is ``offered == served_full + served_degraded + shed + failed``
+    — exact integers, property-tested.
+
     Attributes:
         offered: requests that reached the cluster front-end.
-        served: requests that completed service.
+        served: requests that completed service (any quality tier).
         shed: requests rejected at admission.
         failed: admitted requests lost to shard faults (retry budget spent).
-        slo_met: served requests whose sojourn met their SLO.
+        slo_met: served requests whose sojourn met their SLO (any tier).
+        served_degraded: served requests executed at the degraded tier.
+        slo_met_degraded: degraded-tier served requests that met their SLO.
         makespan_seconds: first arrival to last completion.
     """
 
@@ -368,6 +377,18 @@ class GoodputStats:
     slo_met: int = 0
     makespan_seconds: float = 0.0
     failed: int = 0
+    served_degraded: int = 0
+    slo_met_degraded: int = 0
+
+    @property
+    def served_full(self) -> int:
+        """Served requests executed at full quality."""
+        return self.served - self.served_degraded
+
+    @property
+    def slo_met_full(self) -> int:
+        """Full-quality served requests that met their SLO."""
+        return self.slo_met - self.slo_met_degraded
 
     @property
     def shed_rate(self) -> float:
@@ -397,15 +418,32 @@ class GoodputStats:
             return 0.0
         return self.slo_met / self.makespan_seconds
 
+    def slo_weighted_goodput_rps(self, degraded_utility: float) -> float:
+        """Goodput with degraded completions discounted to their utility.
+
+        A full-quality SLO-met completion is worth 1, a degraded one
+        ``degraded_utility`` (the :class:`DegradationPolicy` knob) — the
+        headline the graceful-degradation benchmark compares against binary
+        shedding.
+        """
+        if self.makespan_seconds <= 0:
+            return 0.0
+        weighted = self.slo_met_full + degraded_utility * self.slo_met_degraded
+        return weighted / self.makespan_seconds
+
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary of the accounting (for JSON reports)."""
         return {
             "offered": self.offered,
             "served": self.served,
+            "served_full": self.served_full,
+            "served_degraded": self.served_degraded,
             "shed": self.shed,
             "failed": self.failed,
             "shed_rate": self.shed_rate,
             "slo_met": self.slo_met,
+            "slo_met_full": self.slo_met_full,
+            "slo_met_degraded": self.slo_met_degraded,
             "slo_attainment": self.slo_attainment,
             "goodput_rps": self.goodput_rps,
         }
@@ -418,10 +456,14 @@ class TenantStats:
     Attributes:
         tenant: tenant name.
         offered: requests of the tenant that reached the cluster front-end.
-        served: requests of the tenant that completed service.
+        served: requests of the tenant that completed service (any tier).
         shed: requests of the tenant rejected at admission.
         slo_met: served requests of the tenant that met their SLO.
         latency: sojourn-time summary of the tenant's served requests.
+        served_degraded: the tenant's served requests executed at the
+            degraded quality tier.
+        slo_met_degraded: the tenant's degraded-tier served requests that
+            met their SLO.
     """
 
     tenant: str
@@ -430,6 +472,18 @@ class TenantStats:
     shed: int = 0
     slo_met: int = 0
     latency: LatencyStats = field(default_factory=LatencyStats)
+    served_degraded: int = 0
+    slo_met_degraded: int = 0
+
+    @property
+    def served_full(self) -> int:
+        """The tenant's served requests executed at full quality."""
+        return self.served - self.served_degraded
+
+    @property
+    def slo_met_full(self) -> int:
+        """The tenant's full-quality served requests that met their SLO."""
+        return self.slo_met - self.slo_met_degraded
 
     @property
     def shed_rate(self) -> float:
@@ -450,9 +504,11 @@ class TenantStats:
         return {
             "offered": self.offered,
             "served": self.served,
+            "served_degraded": self.served_degraded,
             "shed": self.shed,
             "shed_rate": self.shed_rate,
             "slo_met": self.slo_met,
+            "slo_met_degraded": self.slo_met_degraded,
             "slo_attainment": self.slo_attainment,
             "latency": self.latency.as_dict(),
         }

@@ -20,8 +20,14 @@ traffic regime:
 * :mod:`repro.serving.control` — the SLO-aware control plane: per-workload
   latency objectives, per-tenant quotas (:class:`TenantQuota`: guaranteed
   rates, weighted excess shedding, hard caps), predictive / batching-aware
-  admission control and a hysteresis queue-depth autoscaler with bitstream
+  admission control with graceful degradation
+  (:class:`DegradationPolicy`: downgrade to a cheaper quality tier instead
+  of shedding) and a hysteresis queue-depth autoscaler with bitstream
   warm-up penalties.
+* :mod:`repro.serving.config` — :class:`ServingConfig`, the validated
+  configuration object behind ``serve_trace(trace, config=...)`` /
+  ``serve_online(source, config=...)``; the legacy per-call keyword
+  arguments remain available through a ``DeprecationWarning`` shim.
 * :mod:`repro.serving.faults` — deterministic shard failure injection
   (:class:`FaultSchedule`: crash / recover / slowdown events, or a seeded
   :class:`RandomFaults` generator) with drain-and-migrate recovery, retry
@@ -77,11 +83,14 @@ from repro.serving.control import (
     AdmissionController,
     AdmissionDecision,
     Autoscaler,
+    DegradationPolicy,
     ScalingEvent,
     ServingController,
     SLOPolicy,
     TenantQuota,
 )
+from repro.serving.config import ServingConfig
+from repro.system.workload import QUALITY_DEGRADED, QUALITY_FULL, QUALITY_TIERS
 
 __all__ = [
     "InferenceRequest",
@@ -126,4 +135,9 @@ __all__ = [
     "Autoscaler",
     "ScalingEvent",
     "ServingController",
+    "ServingConfig",
+    "DegradationPolicy",
+    "QUALITY_FULL",
+    "QUALITY_DEGRADED",
+    "QUALITY_TIERS",
 ]

@@ -34,15 +34,19 @@ runs — the goodput / shed-rate accounting and the scaling timeline.
 from __future__ import annotations
 
 import heapq
+import warnings
 import zlib
 from collections import deque
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import GoodputStats, LatencyStats, TenantStats
 
 if TYPE_CHECKING:  # control.py only imports repro.system.workload — no cycle,
-    # but the runtime layering (control on top of cluster) is kept one-way.
+    # but the runtime layering (control/config on top of cluster) is kept
+    # one-way.
+    from repro.serving.config import ServingConfig
     from repro.serving.control import (
         AdmissionController,
         AdmissionDecision,
@@ -54,7 +58,7 @@ from repro.serving.faults import FaultLoopHooks, FaultSchedule, FaultStats, due
 from repro.serving.requests import InferenceRequest, RequestTrace
 from repro.serving.scheduler import BatchScheduler, RequestBatch
 from repro.system.service import GNNService, ServiceReport, build_services
-from repro.system.workload import WorkloadProfile
+from repro.system.workload import QUALITY_DEGRADED, WorkloadProfile
 
 #: Dispatch policies: cycle shards, pick the earliest-free shard, or prefer
 #: shards whose reconfigurable state already suits the batch (falling back to
@@ -147,6 +151,10 @@ class ReportAggregates:
         slo_met: served requests whose sojourn met their SLO (equals
             ``count`` when the run had no SLO).
         tenants: per-tenant accounting, keyed (and sorted) by tenant name.
+        served_degraded: served requests executed at the degraded quality
+            tier (their workload carries ``quality="degraded"``).
+        slo_met_degraded: degraded-tier served requests that met their SLO
+            (equals ``served_degraded`` when the run had no SLO).
     """
 
     count: int
@@ -157,6 +165,8 @@ class ReportAggregates:
     service_sum: float
     slo_met: int
     tenants: Optional[Dict[str, TenantStats]] = None
+    served_degraded: int = 0
+    slo_met_degraded: int = 0
 
 
 @dataclass
@@ -242,6 +252,15 @@ class ClusterReport:
         return 0
 
     @property
+    def num_degraded(self) -> int:
+        """Served requests executed at the degraded quality tier."""
+        if self.aggregates is not None:
+            return self.aggregates.served_degraded
+        return sum(
+            1 for s in self.served if s.request.workload.quality == QUALITY_DEGRADED
+        )
+
+    @property
     def num_offered(self) -> int:
         """Requests that reached the front-end (served + shed + failed)."""
         return self.num_requests + self.num_shed + self.num_failed
@@ -263,13 +282,22 @@ class ClusterReport:
         """
         if self.slo is None:
             slo_met = self.num_requests
+            slo_met_degraded = self.num_degraded
         elif self.aggregates is not None:
             slo_met = self.aggregates.slo_met
+            slo_met_degraded = self.aggregates.slo_met_degraded
         else:
             slo_met = sum(
                 1
                 for s in self.served
                 if s.sojourn_seconds
+                <= self.slo.slo_for(s.request.workload, s.request.tenant)
+            )
+            slo_met_degraded = sum(
+                1
+                for s in self.served
+                if s.request.workload.quality == QUALITY_DEGRADED
+                and s.sojourn_seconds
                 <= self.slo.slo_for(s.request.workload, s.request.tenant)
             )
         return GoodputStats(
@@ -279,6 +307,8 @@ class ClusterReport:
             slo_met=slo_met,
             makespan_seconds=self.makespan_seconds,
             failed=self.num_failed,
+            served_degraded=self.num_degraded,
+            slo_met_degraded=slo_met_degraded,
         )
 
     @property
@@ -337,14 +367,21 @@ class ClusterReport:
         served_count: Dict[str, int] = {}
         slo_met: Dict[str, int] = {}
         shed_count: Dict[str, int] = {}
+        degraded_count: Dict[str, int] = {}
+        slo_met_degraded: Dict[str, int] = {}
         for s in self.served:
             tenant = s.request.tenant
+            degraded = s.request.workload.quality == QUALITY_DEGRADED
             sojourns.setdefault(tenant, []).append(s.sojourn_seconds)
             served_count[tenant] = served_count.get(tenant, 0) + 1
+            if degraded:
+                degraded_count[tenant] = degraded_count.get(tenant, 0) + 1
             if self.slo is None or s.sojourn_seconds <= self.slo.slo_for(
                 s.request.workload, tenant
             ):
                 slo_met[tenant] = slo_met.get(tenant, 0) + 1
+                if degraded:
+                    slo_met_degraded[tenant] = slo_met_degraded.get(tenant, 0) + 1
         for record in self.shed:
             tenant = record.request.tenant
             shed_count[tenant] = shed_count.get(tenant, 0) + 1
@@ -356,6 +393,8 @@ class ClusterReport:
                 shed=shed_count.get(tenant, 0),
                 slo_met=slo_met.get(tenant, 0),
                 latency=LatencyStats.from_samples(sojourns.get(tenant, [])),
+                served_degraded=degraded_count.get(tenant, 0),
+                slo_met_degraded=slo_met_degraded.get(tenant, 0),
             )
             for tenant in sorted(set(served_count) | set(shed_count))
         }
@@ -444,6 +483,38 @@ def _admission_estimate(
         )
         estimate = min(estimate, max(joined - forming, 0.0))
     return estimate
+
+
+def _coerce_config(config: Optional["ServingConfig"], method: str, **legacy):
+    """Resolve the ``config=`` parameter against the legacy kwarg surface.
+
+    Passing both is an error; passing legacy kwargs alone emits a
+    ``DeprecationWarning`` and maps them onto an equivalent
+    :class:`~repro.serving.config.ServingConfig` (the mapped fields are the
+    very objects the old signature received, so reports are byte-identical
+    through the shim — regression-tested in ``tests/test_serving_config.py``).
+    """
+    from repro.serving.config import ServingConfig
+
+    provided = {name: value for name, value in legacy.items() if value is not None}
+    if config is not None:
+        if provided:
+            raise ValueError(
+                f"{method}: pass either config= or the legacy keyword arguments "
+                f"({sorted(provided)}), not both"
+            )
+        return config
+    if provided:
+        warnings.warn(
+            f"{method}({', '.join(sorted(provided))}=...) keyword arguments are "
+            "deprecated; pass config=ServingConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    provided["controller"] = provided.pop("admission", None)
+    return ServingConfig(
+        **{name: value for name, value in provided.items() if value is not None}
+    )
 
 
 class _LoopState:
@@ -644,12 +715,39 @@ class ShardedServiceCluster:
             on_failed=on_failed if on_failed is not None else lambda request, seconds: None,
         )
 
+    @contextmanager
+    def _run_overrides(self, config: "ServingConfig"):
+        """Apply a config's engine/scheduler overrides for one run.
+
+        The cluster's construction-time choices are swapped in-place and
+        restored on exit, so a per-run ``ServingConfig(engine=...,
+        tenant_weights=...)`` never leaks into later runs on the same
+        cluster.
+        """
+        engine = self.engine
+        scheduler = self.scheduler
+        try:
+            if config.engine is not None:
+                self.engine = config.engine
+            if config.tenant_weights is not None:
+                self.scheduler = BatchScheduler(
+                    max_batch_size=scheduler.max_batch_size,
+                    max_wait_seconds=scheduler.max_wait_seconds,
+                    tenant_weights=dict(config.tenant_weights),
+                )
+            yield
+        finally:
+            self.engine = engine
+            self.scheduler = scheduler
+
     # --------------------------------------------------------------- serving
     def serve_trace(
         self,
         trace: RequestTrace,
         slo: Optional["SLOPolicy"] = None,
         faults: Optional[FaultSchedule] = None,
+        *,
+        config: Optional["ServingConfig"] = None,
     ) -> ClusterReport:
         """Replay a trace through the cluster and merge the outcome.
 
@@ -661,9 +759,34 @@ class ShardedServiceCluster:
         ``faults`` schedule the replay injects shard crash/recover/slowdown
         events: doomed batches migrate to survivors, in-flight failures
         retry with backoff, and the report carries a faults section.
+
+        ``config`` (a :class:`~repro.serving.config.ServingConfig`) is the
+        consolidated way to pass all of the above plus per-run engine and
+        tenant-weight overrides; the loose ``slo`` / ``faults`` kwargs are a
+        deprecated shim onto it.  Admission control, degradation and
+        autoscaling are online-only and rejected here.
         """
+        config = _coerce_config(config, "serve_trace", slo=slo, faults=faults)
+        if config.autoscaler is not None:
+            raise ValueError("serve_trace is offline: autoscaler requires serve_online")
+        if config.resolved_controller() is not None:
+            raise ValueError(
+                "serve_trace is offline and never sheds: admission control "
+                "(controller/admit/degradation) requires serve_online"
+            )
+        slo = config.scoring_slo()
+        faults = config.resolved_faults()
         if not len(trace):
             raise ValueError("cannot serve an empty trace")
+        with self._run_overrides(config):
+            return self._serve_trace_resolved(trace, slo, faults)
+
+    def _serve_trace_resolved(
+        self,
+        trace: RequestTrace,
+        slo: Optional["SLOPolicy"],
+        faults: Optional[FaultSchedule],
+    ) -> ClusterReport:
         if self.engine == ENGINE_FAST:
             from repro.serving.engine import serve_trace_fast
 
@@ -706,6 +829,8 @@ class ShardedServiceCluster:
         admission: Optional["AdmissionController"] = None,
         autoscaler: Optional["Autoscaler"] = None,
         faults: Optional[FaultSchedule] = None,
+        *,
+        config: Optional["ServingConfig"] = None,
     ) -> ClusterReport:
         """Drain an arrival source through the online co-simulated event loop.
 
@@ -746,12 +871,46 @@ class ShardedServiceCluster:
         replace them), doomed batches drain and migrate, in-flight failures
         retry with exponential backoff until their budget is spent, and the
         admission backlog prediction only counts live shards.
+
+        ``config`` (a :class:`~repro.serving.config.ServingConfig`) is the
+        consolidated way to pass the whole control plane plus per-run engine
+        and tenant-weight overrides; the loose keyword arguments are a
+        deprecated shim onto it.  With a
+        :class:`~repro.serving.control.DegradationPolicy` configured, the
+        admission chain gains a degraded-quality tier: a request whose
+        full-quality prediction violates its SLO is re-priced at its cheaper
+        degraded profile (own batch key, own batches) and served degraded
+        when that prediction fits — shed only when even the degraded tier
+        cannot meet the SLO and no excess budget covers it.
         """
+        config = _coerce_config(
+            config,
+            "serve_online",
+            slo=slo,
+            admission=admission,
+            autoscaler=autoscaler,
+            faults=faults,
+        )
+        slo = config.scoring_slo()
+        admission = config.resolved_controller()
+        autoscaler = config.autoscaler
+        faults = config.resolved_faults()
         if autoscaler is not None and autoscaler.max_shards > self.num_shards:
             raise ValueError(
                 f"autoscaler max_shards ({autoscaler.max_shards}) exceeds the "
                 f"cluster's shard count ({self.num_shards})"
             )
+        with self._run_overrides(config):
+            return self._serve_online_resolved(source, slo, admission, autoscaler, faults)
+
+    def _serve_online_resolved(
+        self,
+        source,
+        slo: Optional["SLOPolicy"],
+        admission: Optional["AdmissionController"],
+        autoscaler: Optional["Autoscaler"],
+        faults: Optional[FaultSchedule],
+    ) -> ClusterReport:
         if self.engine == ENGINE_FAST:
             from repro.serving.engine import serve_online_fast
 
@@ -959,10 +1118,36 @@ class ShardedServiceCluster:
                 estimate = _admission_estimate(
                     self.template, request, admission, joinable
                 )
-                decision = admission.decide(request, now, backlog, estimate)
+                # Degraded-quality tier: price the request's cheaper profile
+                # against *its own* open batch (degraded requests batch under
+                # their own key) so the controller can admit it degraded when
+                # the full-quality prediction violates the SLO.
+                degraded_workload = admission.degraded_profile(request.workload)
+                degraded_estimate = None
+                degraded_request = None
+                if degraded_workload is not None:
+                    degraded_key = degraded_workload.batch_key
+                    if fair:
+                        degraded_joinable = (
+                            batcher.open_members(degraded_key)
+                            if batcher.can_join(degraded_key, request.tenant)
+                            else None
+                        )
+                    else:
+                        degraded_joinable = open_members.get(degraded_key)
+                    degraded_request = replace(request, workload=degraded_workload)
+                    degraded_estimate = _admission_estimate(
+                        self.template, degraded_request, admission, degraded_joinable
+                    )
+                decision = admission.decide(
+                    request, now, backlog, estimate, degraded_estimate
+                )
                 if admission.record_decisions:
                     decisions.append(decision)
                 if decision.admitted:
+                    if decision.degraded:
+                        request = degraded_request
+                        estimate = degraded_estimate
                     pending_estimates[request.request_id] = estimate
                 if not decision.admitted:
                     shed_records.append(

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from repro.serving.requests import DEFAULT_TENANT
-from repro.system.workload import WorkloadProfile
+from repro.system.workload import QUALITY_DEGRADED, WorkloadProfile
 
 
 @dataclass(frozen=True)
@@ -158,6 +158,68 @@ class SLOPolicy:
 
 
 @dataclass(frozen=True)
+class DegradationPolicy:
+    """Quality-latency degradation knobs for graceful overload handling.
+
+    When admission predicts an SLO violation at full quality, the request is
+    re-priced at a cheaper execution profile —
+    :meth:`~repro.system.workload.WorkloadProfile.degrade` with these knobs —
+    and admitted at the degraded tier when *that* prediction meets the SLO.
+    Overload then has three outcomes (full, degraded, shed) instead of two.
+
+    Attributes:
+        k_factor: factor applied to the neighbours sampled per node
+            (``k``), in ``(0, 1]``.
+        min_k: lower clamp on the degraded ``k``.
+        layer_drop: sampling hops removed from the degraded profile.
+        min_layers: lower clamp on the degraded layer count.
+        degraded_utility: SLO-weighted value of one degraded completion
+            relative to a full-quality one, in ``[0, 1]`` — used by goodput
+            scoring (``full + degraded_utility * degraded``), not by the
+            admission verdict itself.
+    """
+
+    k_factor: float = 0.5
+    min_k: int = 1
+    layer_drop: int = 1
+    min_layers: int = 1
+    degraded_utility: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.k_factor <= 1.0:
+            raise ValueError("k_factor must be in (0, 1]")
+        if self.min_k < 1:
+            raise ValueError("min_k must be >= 1")
+        if self.layer_drop < 0:
+            raise ValueError("layer_drop must be >= 0")
+        if self.min_layers < 1:
+            raise ValueError("min_layers must be >= 1")
+        if not 0.0 <= self.degraded_utility <= 1.0:
+            raise ValueError("degraded_utility must be in [0, 1]")
+
+    def apply(self, workload: WorkloadProfile) -> WorkloadProfile:
+        """The degraded execution profile of ``workload`` (idempotent)."""
+        if workload.quality == QUALITY_DEGRADED:
+            return workload
+        return workload.degrade(
+            k_factor=self.k_factor,
+            min_k=self.min_k,
+            layer_drop=self.layer_drop,
+            min_layers=self.min_layers,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return {
+            "k_factor": self.k_factor,
+            "min_k": self.min_k,
+            "layer_drop": self.layer_drop,
+            "min_layers": self.min_layers,
+            "degraded_utility": self.degraded_utility,
+        }
+
+
+@dataclass(frozen=True)
 class AdmissionDecision:
     """One admission-control verdict, recorded at request arrival.
 
@@ -171,8 +233,12 @@ class AdmissionDecision:
         reason: which admission tier produced the verdict — ``"predicted"``
             / ``"overload"`` for the SLO prediction (the only tier of a
             quota-free policy), ``"guaranteed"`` for the tenant's guaranteed
-            token bucket, ``"weighted-excess"`` for the shared overflow
+            token bucket, ``"degraded"`` for the degraded-quality
+            prediction, ``"weighted-excess"`` for the shared overflow
             budget and ``"rate-limit"`` for the hard per-tenant cap.
+        degraded: whether the request was admitted at the degraded quality
+            tier (``reason == "degraded"``); ``predicted_sojourn`` is then
+            the degraded-profile prediction.
     """
 
     request_id: int
@@ -182,6 +248,7 @@ class AdmissionDecision:
     admitted: bool
     tenant: str = DEFAULT_TENANT
     reason: str = "predicted"
+    degraded: bool = False
 
 
 class _TokenBucket:
@@ -246,6 +313,14 @@ class AdmissionController:
     minus the forming batch's cost) instead of the conservative standalone
     per-request estimate.  The controller itself only carries the flag; the
     loops own the estimate because only they see the open batches.
+
+    ``degradation`` (a :class:`DegradationPolicy`) inserts a degraded-quality
+    prediction tier between the full-quality prediction and the weighted
+    excess budget: a request whose full-quality prediction violates the SLO
+    is re-priced at its cheaper :meth:`DegradationPolicy.apply` profile and
+    admitted *degraded* when that prediction fits.  The loops pass the
+    degraded-profile estimate in (only they see the open batches); the
+    controller owns the tier ordering and the verdict.
     """
 
     def __init__(
@@ -253,16 +328,34 @@ class AdmissionController:
         policy: SLOPolicy,
         record_decisions: bool = True,
         batch_aware: bool = False,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> None:
         self.policy = policy
         self.record_decisions = record_decisions
         self.batch_aware = batch_aware
+        self.degradation = degradation
         self.decisions: List[AdmissionDecision] = []
         self._guaranteed: Dict[str, Optional[_TokenBucket]] = {}
         self._limits: Dict[str, Optional[_TokenBucket]] = {}
         self._excess: Dict[str, Optional[_TokenBucket]] = {}
+        self._degraded_profiles: Dict[WorkloadProfile, Optional[WorkloadProfile]] = {}
         weights = [quota.weight for quota in policy.per_tenant.values()]
         self._total_weight = sum(weights) if weights else 1.0
+
+    def degraded_profile(self, workload: WorkloadProfile) -> Optional[WorkloadProfile]:
+        """The memoized degraded profile of ``workload``.
+
+        ``None`` when no degradation policy is configured or when degrading
+        would not change the execution (already at the floor) — the loops
+        then skip the degraded tier entirely for that workload.
+        """
+        if self.degradation is None:
+            return None
+        if workload not in self._degraded_profiles:
+            degraded = self.degradation.apply(workload)
+            cheaper = (degraded.k, degraded.num_layers) != (workload.k, workload.num_layers)
+            self._degraded_profiles[workload] = degraded if cheaper else None
+        return self._degraded_profiles[workload]
 
     def reset(self) -> None:
         """Drop all token-bucket state (start of a serving run).
@@ -296,8 +389,15 @@ class AdmissionController:
         now_seconds: float,
         backlog_seconds: float,
         service_estimate_seconds: float,
+        degraded_estimate_seconds: Optional[float] = None,
     ) -> AdmissionDecision:
-        """Admit or shed ``request`` given the cluster's current backlog."""
+        """Admit or shed ``request`` given the cluster's current backlog.
+
+        ``degraded_estimate_seconds`` — the estimated service seconds of the
+        request's degraded profile, supplied by the serving loop when a
+        degradation policy is configured — enables the degraded-quality
+        prediction tier; ``None`` keeps the verdict binary (admit/shed).
+        """
         predicted = max(backlog_seconds, 0.0) + max(service_estimate_seconds, 0.0)
         tenant = request.tenant
         slo = self.policy.slo_for(request.workload, tenant)
@@ -309,12 +409,18 @@ class AdmissionController:
             self._guaranteed, tenant, quota.guaranteed_rps, quota.burst_seconds,
             now_seconds,
         )
+        degraded_tier = False
         if limit is not None and not limit.take(now_seconds):
             admitted, reason = False, "rate-limit"
         elif guaranteed is not None and guaranteed.take(now_seconds):
             admitted, reason = True, "guaranteed"
         elif predicted <= slo:
             admitted, reason = True, "predicted"
+        elif degraded_estimate_seconds is not None and (
+            max(backlog_seconds, 0.0) + max(degraded_estimate_seconds, 0.0) <= slo
+        ):
+            predicted = max(backlog_seconds, 0.0) + max(degraded_estimate_seconds, 0.0)
+            admitted, reason, degraded_tier = True, "degraded", True
         else:
             # Only quota-listed tenants share the excess budget: an unlisted
             # tenant minting its own weight-1 slice would oversubscribe the
@@ -339,6 +445,7 @@ class AdmissionController:
             admitted=admitted,
             tenant=tenant,
             reason=reason,
+            degraded=degraded_tier,
         )
         if self.record_decisions:
             self.decisions.append(decision)
@@ -515,6 +622,7 @@ class ServingController:
         record_decisions: bool = True,
         batch_aware: bool = False,
         faults=None,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> None:
         if autoscaler is not None and autoscaler.max_shards > cluster.num_shards:
             raise ValueError(
@@ -527,7 +635,10 @@ class ServingController:
         self.faults = faults
         self.admission = (
             AdmissionController(
-                slo, record_decisions=record_decisions, batch_aware=batch_aware
+                slo,
+                record_decisions=record_decisions,
+                batch_aware=batch_aware,
+                degradation=degradation,
             )
             if slo is not None
             else None
@@ -535,10 +646,14 @@ class ServingController:
 
     def serve(self, source):
         """Drive ``source`` through the cluster under this control plane."""
+        from repro.serving.config import ServingConfig
+
         return self.cluster.serve_online(
             source,
-            slo=self.slo,
-            admission=self.admission,
-            autoscaler=self.autoscaler,
-            faults=self.faults,
+            config=ServingConfig(
+                slo=self.slo,
+                controller=self.admission,
+                autoscaler=self.autoscaler,
+                faults=self.faults,
+            ),
         )

@@ -39,13 +39,14 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import StreamingLatencyStats
 from repro.serving.faults import FaultLoopHooks, FaultSchedule, due
 from repro.serving.requests import InferenceRequest
 from repro.serving.scheduler import RequestBatch
-from repro.system.workload import WorkloadProfile
+from repro.system.workload import QUALITY_DEGRADED, WorkloadProfile
 
 if TYPE_CHECKING:
     from repro.serving.cluster import ShardedServiceCluster
@@ -118,10 +119,14 @@ class _RunAccumulator:
         "service_sum",
         "slo_met",
         "slo",
+        "served_degraded",
+        "slo_met_degraded",
         "tenant_latency",
         "tenant_served",
         "tenant_slo_met",
         "tenant_shed",
+        "tenant_degraded",
+        "tenant_slo_met_degraded",
     )
 
     def __init__(self, slo: Optional["SLOPolicy"]) -> None:
@@ -133,10 +138,14 @@ class _RunAccumulator:
         self.service_sum = 0.0
         self.slo_met = 0
         self.slo = slo
+        self.served_degraded = 0
+        self.slo_met_degraded = 0
         self.tenant_latency: Dict[str, StreamingLatencyStats] = {}
         self.tenant_served: Dict[str, int] = {}
         self.tenant_slo_met: Dict[str, int] = {}
         self.tenant_shed: Dict[str, int] = {}
+        self.tenant_degraded: Dict[str, int] = {}
+        self.tenant_slo_met_degraded: Dict[str, int] = {}
 
     def push(
         self,
@@ -151,16 +160,26 @@ class _RunAccumulator:
         self.dispatch_sum += dispatch_delay
         self.service_sum += service_seconds
         tenant = request.tenant
+        degraded = request.workload.quality == QUALITY_DEGRADED
         per_tenant = self.tenant_latency.get(tenant)
         if per_tenant is None:
             per_tenant = StreamingLatencyStats(track_approx=False)
             self.tenant_latency[tenant] = per_tenant
         per_tenant.push(sojourn)
         self.tenant_served[tenant] = self.tenant_served.get(tenant, 0) + 1
+        if degraded:
+            self.served_degraded += 1
+            self.tenant_degraded[tenant] = self.tenant_degraded.get(tenant, 0) + 1
         if self.slo is None or sojourn <= self.slo.slo_for(request.workload, tenant):
             if self.slo is not None:
                 self.slo_met += 1
+                if degraded:
+                    self.slo_met_degraded += 1
             self.tenant_slo_met[tenant] = self.tenant_slo_met.get(tenant, 0) + 1
+            if degraded:
+                self.tenant_slo_met_degraded[tenant] = (
+                    self.tenant_slo_met_degraded.get(tenant, 0) + 1
+                )
 
     def push_shed(self, request: InferenceRequest) -> None:
         tenant = request.tenant
@@ -183,6 +202,8 @@ class _RunAccumulator:
                 shed=shed,
                 slo_met=self.tenant_slo_met.get(tenant, 0),
                 latency=latency.stats() if latency is not None else LatencyStats(),
+                served_degraded=self.tenant_degraded.get(tenant, 0),
+                slo_met_degraded=self.tenant_slo_met_degraded.get(tenant, 0),
             )
         return ReportAggregates(
             count=count,
@@ -193,6 +214,10 @@ class _RunAccumulator:
             service_sum=self.service_sum,
             slo_met=self.slo_met if self.slo is not None else count,
             tenants=tenants,
+            served_degraded=self.served_degraded,
+            slo_met_degraded=(
+                self.slo_met_degraded if self.slo is not None else self.served_degraded
+            ),
         )
 
 
@@ -700,10 +725,36 @@ def serve_online_fast(
             else:
                 joinable = open_members.get(key)
             estimate = _admission_estimate(cluster.template, request, admission, joinable)
-            decision = admission.decide(request, now, backlog, estimate)
+            # Degraded-quality tier: price the request's cheaper profile
+            # against *its own* open batch (degraded requests batch under
+            # their own key) so the controller can admit it degraded when
+            # the full-quality prediction violates the SLO.
+            degraded_workload = admission.degraded_profile(request.workload)
+            degraded_estimate = None
+            degraded_request = None
+            if degraded_workload is not None:
+                degraded_key = degraded_workload.batch_key
+                if fair:
+                    degraded_joinable = (
+                        batcher.open_members(degraded_key)
+                        if batcher.can_join(degraded_key, request.tenant)
+                        else None
+                    )
+                else:
+                    degraded_joinable = open_members.get(degraded_key)
+                degraded_request = replace(request, workload=degraded_workload)
+                degraded_estimate = _admission_estimate(
+                    cluster.template, degraded_request, admission, degraded_joinable
+                )
+            decision = admission.decide(
+                request, now, backlog, estimate, degraded_estimate
+            )
             if admission.record_decisions:
                 decisions.append(decision)
             if decision.admitted:
+                if decision.degraded:
+                    request = degraded_request
+                    estimate = degraded_estimate
                 pending_estimates[request.request_id] = estimate
             if not decision.admitted:
                 shed_records.append(

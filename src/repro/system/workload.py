@@ -23,6 +23,15 @@ BYTES_PER_EDGE: int = 8
 #: Bytes per feature element (FP32).
 BYTES_PER_FEATURE: int = 4
 
+#: Quality tiers a request can be served at.  ``QUALITY_FULL`` is the
+#: as-submitted profile; ``QUALITY_DEGRADED`` marks a profile produced by
+#: :meth:`WorkloadProfile.degrade` (fewer sampled neighbours / shallower
+#: model) that trades answer quality for latency under overload.
+QUALITY_FULL: str = "full"
+QUALITY_DEGRADED: str = "degraded"
+
+QUALITY_TIERS = (QUALITY_FULL, QUALITY_DEGRADED)
+
 
 @dataclass(frozen=True)
 class WorkloadProfile:
@@ -40,6 +49,8 @@ class WorkloadProfile:
         update_fraction: fraction of edges that changed since the last
             preprocessing pass (drives incremental-transfer savings).
         model_name: GNN model used for inference.
+        quality: service tier this profile executes at (``QUALITY_FULL``
+            unless derived through :meth:`degrade`).
     """
 
     name: str
@@ -52,6 +63,11 @@ class WorkloadProfile:
     feature_dim: int = 128
     update_fraction: float = 0.01
     model_name: str = "graphsage"
+    quality: str = QUALITY_FULL
+
+    def __post_init__(self) -> None:
+        if self.quality not in QUALITY_TIERS:
+            raise ValueError(f"quality must be one of {QUALITY_TIERS}, got {self.quality!r}")
 
     # ------------------------------------------------------------ quantities
     @property
@@ -147,6 +163,39 @@ class WorkloadProfile:
             self.feature_dim,
             self.update_fraction,
             self.model_name,
+            self.quality,
+        )
+
+    def degrade(
+        self,
+        k_factor: float = 0.5,
+        min_k: int = 1,
+        layer_drop: int = 0,
+        min_layers: int = 1,
+    ) -> "WorkloadProfile":
+        """Cheaper execution profile for the same request (degraded tier).
+
+        Samples fewer neighbours per hop (``k`` scaled by ``k_factor``, never
+        below ``min_k``) and optionally drops sampling hops (``layer_drop``,
+        never below ``min_layers``).  The result carries
+        ``quality=QUALITY_DEGRADED`` — part of :attr:`batch_key` — so degraded
+        requests form their own batches and are priced at their own (cheaper)
+        cost.  The ``name`` is unchanged: SLO/quota policies resolve degraded
+        requests exactly like their full-quality originals.
+        """
+        if not 0.0 < k_factor <= 1.0:
+            raise ValueError("k_factor must be in (0, 1]")
+        if min_k < 1:
+            raise ValueError("min_k must be >= 1")
+        if layer_drop < 0:
+            raise ValueError("layer_drop must be >= 0")
+        if min_layers < 1:
+            raise ValueError("min_layers must be >= 1")
+        return replace(
+            self,
+            k=max(min(min_k, self.k), int(self.k * k_factor)),
+            num_layers=max(min(min_layers, self.num_layers), self.num_layers - layer_drop),
+            quality=QUALITY_DEGRADED,
         )
 
     def scaled_edges(self, factor: float) -> "WorkloadProfile":

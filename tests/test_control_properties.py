@@ -14,16 +14,21 @@ Invariants under test (see ISSUE/DESIGN "Control plane"):
 """
 
 import json
+from dataclasses import replace
 
 import pytest
 from conftest import WORKLOAD_POOL, make_profile
 from hypothesis import given, settings, strategies as st
 
 from repro.serving import (
+    QUALITY_DEGRADED,
+    QUALITY_FULL,
     Autoscaler,
     BatchScheduler,
     ClosedLoopClients,
+    DegradationPolicy,
     OpenLoopArrivals,
+    ServingConfig,
     ServingController,
     ShardedServiceCluster,
     SLOPolicy,
@@ -320,6 +325,158 @@ def test_closed_loop_clients_validation():
     assert exhausted.peek_time() is None
     with pytest.raises(IndexError):
         exhausted.pop()
+
+
+# ------------------------------------------------------- graceful degradation
+def test_workload_degrade_produces_cheaper_own_batch_profile():
+    w = make_profile()
+    degraded = w.degrade(k_factor=0.5, layer_drop=1)
+    assert degraded.quality == QUALITY_DEGRADED
+    assert w.quality == QUALITY_FULL
+    assert degraded.k == w.k // 2
+    assert degraded.num_layers == w.num_layers - 1
+    assert degraded.name == w.name  # SLO/quota policies resolve identically
+    assert degraded.batch_key != w.batch_key  # own batches
+    assert degraded.total_selections < w.total_selections
+    # Floors clamp but never raise k / layers above the original.
+    floor = w.degrade(k_factor=0.01, min_k=3, layer_drop=10, min_layers=1)
+    assert floor.k == 3
+    assert floor.num_layers == 1
+    small = replace(w, k=2)
+    assert small.degrade(k_factor=0.5, min_k=5).k == 2
+
+
+def test_workload_degrade_and_policy_validation():
+    w = make_profile()
+    for kwargs in (
+        {"k_factor": 0.0},
+        {"k_factor": 1.5},
+        {"min_k": 0},
+        {"layer_drop": -1},
+        {"min_layers": 0},
+    ):
+        with pytest.raises(ValueError):
+            w.degrade(**kwargs)
+    with pytest.raises(ValueError):
+        DegradationPolicy(k_factor=0.0)
+    with pytest.raises(ValueError):
+        DegradationPolicy(degraded_utility=1.5)
+    with pytest.raises(ValueError):
+        replace(w, quality="premium")
+    # apply() is idempotent: a degraded profile never degrades twice.
+    policy = DegradationPolicy(k_factor=0.5, layer_drop=1)
+    once = policy.apply(w)
+    assert policy.apply(once) == once
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rate_factor=st.floats(min_value=1.0, max_value=4.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+    num_requests=st.integers(min_value=10, max_value=50),
+    slo_factor=st.floats(min_value=0.5, max_value=2.0),
+)
+def test_tiered_serving_conservation_and_decision_invariants(
+    services, rate_factor, seed, num_requests, slo_factor
+):
+    """Exact integer conservation with the degraded tier active:
+    ``offered == served_full + served_degraded + shed + failed``, the
+    tier split agrees with the served records, and every degraded
+    admission carries the "degraded" reason with an in-SLO prediction."""
+    cost = _mean_cost(services)
+    slo = SLOPolicy(default_slo_seconds=slo_factor * cost)
+    trace = OpenLoopArrivals(
+        WORKLOAD_POOL, rate_rps=rate_factor / cost, seed=seed
+    ).trace(num_requests)
+    cluster = ShardedServiceCluster(
+        services["CPU"],
+        num_shards=2,
+        scheduler=BatchScheduler(max_batch_size=2, max_wait_seconds=0.002),
+    )
+    source = TraceArrivals(trace)
+    report = cluster.serve_online(
+        source,
+        config=ServingConfig(
+            slo=slo,
+            admit=True,
+            degradation=DegradationPolicy(k_factor=0.5, layer_drop=1),
+        ),
+    )
+    goodput = report.goodput
+    assert (
+        goodput.offered
+        == goodput.served_full + goodput.served_degraded + goodput.shed + goodput.failed
+    )
+    assert goodput.served_full == goodput.served - goodput.served_degraded
+    assert goodput.slo_met_full + goodput.slo_met_degraded == goodput.slo_met
+    assert goodput.slo_met_degraded <= goodput.served_degraded
+    assert goodput.served_degraded == sum(
+        1 for s in report.served if s.request.workload.quality == QUALITY_DEGRADED
+    )
+    # Per-tenant tier splits sum to the cluster-wide ones.
+    tenants = report.tenant_stats.values()
+    assert sum(t.served_degraded for t in tenants) == goodput.served_degraded
+    assert sum(t.slo_met_degraded for t in tenants) == goodput.slo_met_degraded
+    for decision in report.decisions:
+        if decision.degraded:
+            assert decision.admitted
+            assert decision.reason == "degraded"
+            assert decision.predicted_sojourn <= decision.slo_seconds
+    for record in report.shed:
+        # Shed means *both* tiers violated the prediction.
+        assert record.predicted_sojourn > record.slo_seconds
+
+
+def test_degraded_tier_admits_instead_of_shedding(services):
+    """Requests the full-quality prediction would shed are served degraded
+    when their cheaper profile fits the SLO, lifting goodput above binary
+    shedding on the same trace."""
+    w = make_profile()
+    svc = services["CPU"]
+    degraded = DegradationPolicy(k_factor=0.3, layer_drop=1)
+    full_cost = svc.estimate_service_seconds(w)
+    degraded_cost = svc.estimate_service_seconds(degraded.apply(w))
+    assert degraded_cost < full_cost
+    # SLO between the two costs: full-quality sheds, degraded fits.
+    slo = SLOPolicy(default_slo_seconds=(degraded_cost + full_cost) / 2.0)
+    trace = OpenLoopArrivals([w], rate_rps=0.01 / full_cost, seed=3).trace(6)
+    cluster = ShardedServiceCluster(
+        svc, num_shards=1, scheduler=BatchScheduler(max_batch_size=1)
+    )
+    binary = cluster.serve_online(
+        TraceArrivals(trace), config=ServingConfig(slo=slo, admit=True)
+    )
+    tiered = cluster.serve_online(
+        TraceArrivals(trace),
+        config=ServingConfig(slo=slo, admit=True, degradation=degraded),
+    )
+    assert binary.num_requests == 0 and binary.num_shed == len(trace)
+    assert tiered.num_shed == 0
+    assert tiered.goodput.served_degraded == len(trace)
+    assert all(
+        s.request.workload.quality == QUALITY_DEGRADED for s in tiered.served
+    )
+    assert tiered.goodput.slo_weighted_goodput_rps(0.5) > 0.0
+    assert binary.goodput.slo_weighted_goodput_rps(0.5) == 0.0
+
+
+def test_degradation_noop_when_profile_already_at_floor(services):
+    """A policy whose floors make degradation free (no cheaper profile)
+    behaves exactly like binary shedding — no degraded batches appear."""
+    w = make_profile()
+    at_floor = DegradationPolicy(k_factor=1.0, layer_drop=0)
+    cost = services["CPU"].estimate_service_seconds(w)
+    slo = SLOPolicy(default_slo_seconds=0.5 * cost)
+    trace = OpenLoopArrivals([w], rate_rps=1.0 / cost, seed=1).trace(8)
+    cluster = ShardedServiceCluster(
+        services["CPU"], num_shards=1, scheduler=BatchScheduler(max_batch_size=1)
+    )
+    tiered = cluster.serve_online(
+        TraceArrivals(trace),
+        config=ServingConfig(slo=slo, admit=True, degradation=at_floor),
+    )
+    assert tiered.goodput.served_degraded == 0
+    assert tiered.num_shed == len(trace)
 
 
 # ------------------------------------------------------------------ policies

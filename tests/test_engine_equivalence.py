@@ -24,12 +24,14 @@ from repro.serving import (
     Autoscaler,
     BatchScheduler,
     ClosedLoopClients,
+    DegradationPolicy,
     DISPATCH_POLICIES,
     ENGINE_FAST,
     ENGINE_REFERENCE,
     InferenceRequest,
     OpenLoopArrivals,
     RequestTrace,
+    ServingConfig,
     ServingController,
     ShardedServiceCluster,
     SLOPolicy,
@@ -361,6 +363,87 @@ class TestTenantEquivalence:
             return controller.serve(TraceArrivals(trace))
 
         assert _render(run(ENGINE_REFERENCE)) == _render(run(ENGINE_FAST))
+
+
+# ------------------------------------------------------ graceful degradation
+class TestDegradationEquivalence:
+    """The degraded-quality admission tier rides the same byte-identity
+    contract: degraded requests re-price against their own open batches in
+    both engines, and the tiered goodput/tenant sections must agree."""
+
+    WEIGHTS = {"ent": 3.0, "free": 1.0, "pro": 2.0}
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        name=st.sampled_from(SYSTEM_NAMES),
+        policy=st.sampled_from(DISPATCH_POLICIES),
+        seed=st.integers(min_value=0, max_value=2**16),
+        num_requests=st.integers(min_value=5, max_value=40),
+        rate_rps=st.sampled_from([200.0, 1000.0, 4000.0]),
+        slo_ms=st.sampled_from([20.0, 100.0, 500.0]),
+        k_factor=st.sampled_from([0.3, 0.5, 1.0]),
+        layer_drop=st.integers(min_value=0, max_value=2),
+        batch_aware=st.booleans(),
+        num_shards=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_sweep_degraded(
+        self, services, name, policy, seed, num_requests, rate_rps, slo_ms,
+        k_factor, layer_drop, batch_aware, num_shards,
+    ):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=rate_rps, seed=seed).trace(
+            num_requests
+        )
+        config = ServingConfig(
+            slo=SLOPolicy(default_slo_seconds=slo_ms * 1e-3),
+            admit=True,
+            batch_aware=batch_aware,
+            degradation=DegradationPolicy(k_factor=k_factor, layer_drop=layer_drop),
+        )
+        scheduler = BatchScheduler(max_batch_size=3, max_wait_seconds=0.004)
+
+        def run(engine):
+            cluster = _cluster(
+                services, name, engine, num_shards=num_shards,
+                policy=policy, scheduler=scheduler, locality_spill_seconds=0.05,
+            )
+            return cluster.serve_online(TraceArrivals(trace), config=config)
+
+        reference, fast = run(ENGINE_REFERENCE), run(ENGINE_FAST)
+        assert _render(reference) == _render(fast)
+        goodput = fast.goodput
+        assert (
+            goodput.offered
+            == goodput.served_full + goodput.served_degraded
+            + goodput.shed + goodput.failed
+        )
+
+    def test_degraded_tenant_sections_agree(self, services):
+        trace = make_bursty_tenant_trace(WORKLOAD_POOL, num_per_tenant=20, seed=7)
+        config = ServingConfig(
+            slo=SLOPolicy(
+                default_slo_seconds=0.05,
+                per_tenant={"free": TenantQuota(guaranteed_rps=20.0)},
+            ),
+            admit=True,
+            degradation=DegradationPolicy(k_factor=0.5, layer_drop=1),
+        )
+        scheduler = BatchScheduler(
+            max_batch_size=3, max_wait_seconds=0.004, tenant_weights=self.WEIGHTS
+        )
+
+        def run(engine):
+            cluster = _cluster(services, "DynPre", engine, scheduler=scheduler)
+            return cluster.serve_online(TraceArrivals(trace), config=config)
+
+        reference, fast = run(ENGINE_REFERENCE), run(ENGINE_FAST)
+        assert _render(reference) == _render(fast)
+        assert reference.goodput.served_degraded > 0, (
+            "fixture should exercise the degraded tier"
+        )
+        for tenant, stats in reference.tenant_stats.items():
+            other = fast.tenant_stats[tenant]
+            assert stats.served_degraded == other.served_degraded
+            assert stats.slo_met_degraded == other.slo_met_degraded
 
 
 # ------------------------------------------------------- scheduler fast path

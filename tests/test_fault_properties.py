@@ -21,6 +21,7 @@ from repro.serving import (
     AdmissionController,
     Autoscaler,
     BatchScheduler,
+    ENGINES,
     FAULT_CRASH,
     FAULT_RECOVER,
     FAULT_SLOWDOWN,
@@ -236,6 +237,62 @@ def test_fault_oblivious_baseline_serves_less(services):
     )
     assert served_aware == len(trace)
     assert served_oblivious < served_aware
+
+
+# ------------------------------------------------------ fault-aware locality
+@pytest.mark.parametrize("engine", ENGINES)
+def test_locality_dispatch_avoids_dead_preferred_shard(services, engine):
+    """Locality dispatch under a crash schedule: the configured/home shard
+    is never handed work while it is down — batches fall through to the
+    live shards — and service resumes on it after recovery.  Regression
+    for dispatch filtering candidates to alive shards before the locality
+    preference is applied."""
+    w = WORKLOAD_POOL[0]
+    trace = OpenLoopArrivals([w], rate_rps=300.0, seed=11).trace(40)
+    # A huge spill threshold makes dispatch pure locality preference (no
+    # least-loaded spilling): every replica of the calibrated service is
+    # already configured for ``w``, so preference is earliest-free with
+    # index tie-break — shard 0 is the most-preferred target.
+    kwargs = dict(policy="locality", locality_spill_seconds=100.0)
+
+    def starts(report):
+        return [
+            (
+                s.shard_id,
+                s.request.arrival_seconds + s.batching_delay + s.dispatch_delay,
+            )
+            for s in report.served
+        ]
+
+    baseline = _cluster(services, engine, **kwargs).serve_trace(trace)
+    preferred = 0
+    assert any(shard == preferred for shard, _ in starts(baseline)), (
+        "fault-free locality should route work to the preferred shard"
+    )
+
+    recover = 0.3
+    faults = FaultSchedule(
+        events=(
+            FaultEvent(seconds=0.0, shard_id=preferred, kind=FAULT_CRASH),
+            FaultEvent(seconds=recover, shard_id=preferred, kind=FAULT_RECOVER),
+        ),
+        retry_budget=2,
+        retry_backoff_seconds=0.005,
+    )
+    report = _cluster(services, engine, **kwargs).serve_trace(trace, faults=faults)
+    assert report.goodput.served == len(trace)  # nothing lost to the outage
+    outage_starts = [
+        (shard, start) for shard, start in starts(report) if start < recover
+    ]
+    assert outage_starts, "fixture should dispatch during the outage window"
+    assert all(shard != preferred for shard, _ in outage_starts), (
+        "locality dispatch handed work to a crashed shard"
+    )
+    # Both engines make the same alive-filtered locality choices.
+    other = _cluster(
+        services, "reference" if engine == "fast" else "fast", **kwargs
+    ).serve_trace(trace, faults=faults)
+    assert _render(report) == _render(other)
 
 
 # ------------------------------------------------------ schedule validation

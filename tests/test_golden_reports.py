@@ -23,11 +23,13 @@ from repro.serving import (
     BatchScheduler,
     BurstyArrivals,
     ClosedLoopClients,
+    DegradationPolicy,
     DISPATCH_POLICIES,
     ENGINE_FAST,
     ENGINES,
     OpenLoopArrivals,
     RandomFaults,
+    ServingConfig,
     ServingController,
     ShardedServiceCluster,
     SLOPolicy,
@@ -154,6 +156,34 @@ def _faulted_report(services, engine: str = ENGINE_FAST):
     )
 
 
+def _degraded_report(services, engine: str = ENGINE_FAST):
+    """Overloaded multi-tenant run with the degraded-quality tier active.
+
+    Pins the whole graceful-degradation surface — per-tier goodput and
+    tenant splits, degraded requests batching under their own key, the
+    "degraded" admission reason — to a byte-stable report (the chosen rate
+    produces nonzero full, degraded AND shed counts).
+    """
+    trace = _tenant_trace()
+    config = ServingConfig(
+        slo=SLOPolicy(
+            default_slo_seconds=0.3,
+            per_tenant={
+                "free": TenantQuota(guaranteed_rps=5.0, weight=1.0),
+                "pro": TenantQuota(guaranteed_rps=10.0, weight=2.0),
+                "ent": TenantQuota(guaranteed_rps=15.0, weight=3.0),
+            },
+        ),
+        admit=True,
+        batch_aware=True,
+        degradation=DegradationPolicy(k_factor=0.5, layer_drop=1),
+    )
+    cluster = ShardedServiceCluster(
+        services["DynPre"], num_shards=2, scheduler=_scheduler(), engine=engine
+    )
+    return cluster.serve_online(TraceArrivals(trace), config=config)
+
+
 def _render(report) -> str:
     return json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
 
@@ -208,6 +238,23 @@ def test_faulted_report_matches_golden(golden_services, engine):
     )
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+def test_degraded_report_matches_golden(golden_services, engine):
+    report = _degraded_report(golden_services, engine)
+    rendered = _render(report)
+    expected = _golden_path("degraded").read_text()
+    assert rendered == expected, (
+        f"degraded-tier ClusterReport (engine {engine!r}) drifted from its "
+        "golden copy; if the change is intentional, regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_reports.py --regen`"
+    )
+    # The fixture must keep exercising all three service outcomes.
+    goodput = report.goodput
+    assert goodput.served_full > 0
+    assert goodput.served_degraded > 0
+    assert goodput.shed > 0
+
+
 @pytest.mark.parametrize("policy", DISPATCH_POLICIES)
 def test_offline_report_stable_across_runs(golden_services, policy):
     """Two fresh clusters over the same trace render identically."""
@@ -234,6 +281,12 @@ def test_faulted_report_stable_across_runs(golden_services):
     )
 
 
+def test_degraded_report_stable_across_runs(golden_services):
+    assert _render(_degraded_report(golden_services)) == _render(
+        _degraded_report(golden_services)
+    )
+
+
 def regenerate_all() -> None:
     """Rewrite every golden file from the current implementation."""
     services = build_services()
@@ -247,6 +300,8 @@ def regenerate_all() -> None:
     print(f"wrote {_golden_path('tenant-fairness')}")
     _golden_path("faulted").write_text(_render(_faulted_report(services)))
     print(f"wrote {_golden_path('faulted')}")
+    _golden_path("degraded").write_text(_render(_degraded_report(services)))
+    print(f"wrote {_golden_path('degraded')}")
 
 
 if __name__ == "__main__":  # pragma: no cover
