@@ -26,6 +26,13 @@ Three committed-vs-fresh comparisons:
   tiered/binary SLO-weighted goodput ratio drops below
   ``tolerance * committed_ratio`` or the benchmark's own absolute gate, or
   when either run breaks the per-tier conservation invariant.
+* **Elastic scaling** — reads the committed ``BENCH_elastic_scaling.json``,
+  runs a fresh ``--quick`` pass of ``benchmarks/bench_elastic_scaling.py``,
+  and fails when the fresh drain-aware/drain-less goodput ratio or the
+  drain-less/drain-aware shard-seconds ratio drops below
+  ``tolerance * committed_ratio`` or the benchmark's own absolute gates,
+  when a run breaks conservation, or when the drained run stops migrating
+  queued work at scale-down.
 
 Relative tolerances absorb CI-runner noise; the absolute floors catch a
 fast path that was quietly disabled altogether.
@@ -50,6 +57,7 @@ for path in (str(_SRC), str(REPO_ROOT / "benchmarks")):
     if path not in sys.path:
         sys.path.insert(0, path)
 
+import bench_elastic_scaling
 import bench_engine_speed
 import bench_fault_tolerance
 import bench_graceful_degradation
@@ -225,6 +233,48 @@ def _check_graceful_degradation(args) -> List[str]:
     return failures
 
 
+def _check_elastic_scaling(args) -> List[str]:
+    if not args.elastic_baseline.exists():
+        return [
+            f"elastic-scaling: committed baseline {args.elastic_baseline} is missing — "
+            "regenerate with `python benchmarks/bench_elastic_scaling.py` and commit it"
+        ]
+    committed = json.loads(args.elastic_baseline.read_text())
+
+    print("\nrunning fresh --quick elastic-scaling benchmark...\n")
+    fresh = bench_elastic_scaling.run(quick=True)
+
+    failures: List[str] = []
+    for key, label in (
+        ("goodput_ratio", "drain-aware/drain-less goodput"),
+        ("shard_seconds_ratio", "drain-less/drain-aware shard-seconds"),
+    ):
+        floor = max(args.tolerance * committed[key], fresh[f"min_{key}"])
+        verdict = "ok" if fresh[key] >= floor else "REGRESSION"
+        print(
+            f"{label}: committed {committed[key]:6.2f}x | "
+            f"fresh {fresh[key]:6.2f}x | floor {floor:6.2f}x | {verdict}"
+        )
+        if fresh[key] < floor:
+            failures.append(
+                f"elastic-scaling: fresh {label} ratio {fresh[key]:.3f}x below "
+                f"floor {floor:.3f}x (committed {committed[key]:.3f}x, "
+                f"tolerance {args.tolerance})"
+            )
+    for label in ("drain_aware", "drain_less"):
+        if not fresh[label]["conserved"]:
+            failures.append(
+                f"elastic-scaling: {label} run broke conservation "
+                "(offered != served + shed + failed)"
+            )
+    if fresh["drain_aware"]["migrated"] <= 0:
+        failures.append(
+            "elastic-scaling: drained run migrated no queued work at scale-down "
+            "(drain-and-migrate quietly disabled?)"
+        )
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -252,6 +302,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="committed graceful-degradation benchmark JSON to compare against",
     )
     parser.add_argument(
+        "--elastic-baseline",
+        type=Path,
+        default=bench_elastic_scaling.RESULT_PATH,
+        help="committed elastic-scaling benchmark JSON to compare against",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=DEFAULT_TOLERANCE,
@@ -275,6 +331,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures += _check_engine(args)
     failures += _check_fault_tolerance(args)
     failures += _check_graceful_degradation(args)
+    failures += _check_elastic_scaling(args)
 
     if failures:
         print("\nPERF REGRESSION DETECTED:", file=sys.stderr)

@@ -102,10 +102,23 @@ def format_timeline(title: str, events: Sequence[object]) -> str:
     """Format a scaling timeline (autoscaler events) as a table.
 
     Each event must expose ``seconds``/``active_shards``/``reason``
-    attributes (duck-typed against the control plane's ``ScalingEvent``).
+    attributes (duck-typed against the control plane's ``ScalingEvent``)
+    and may expose drain outcomes (``migrated``/``completed`` request
+    counts from a drained scale-down); events without them — older
+    captures, ad hoc rows — render as zeros rather than misreporting a
+    drain as outcome-free.
     """
-    columns = ["t_seconds", "active_shards", "reason"]
-    rows = [[event.seconds, event.active_shards, event.reason] for event in events]
+    columns = ["t_seconds", "active_shards", "reason", "migrated", "completed"]
+    rows = [
+        [
+            event.seconds,
+            event.active_shards,
+            event.reason,
+            getattr(event, "migrated", 0),
+            getattr(event, "completed", 0),
+        ]
+        for event in events
+    ]
     return format_table(title, columns, rows)
 
 

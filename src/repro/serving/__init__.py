@@ -32,7 +32,10 @@ traffic regime:
   (:class:`FaultSchedule`: crash / recover / slowdown events, or a seeded
   :class:`RandomFaults` generator) with drain-and-migrate recovery, retry
   with exponential backoff, and exact served/shed/failed conservation —
-  consumed identically by both engines.
+  consumed identically by both engines.  The same machinery backs
+  *voluntary* drains (:class:`DrainPlanner`): an autoscaler scale-down
+  with ``drain=True`` migrates queued work to surviving shards instead of
+  stranding it on the deactivated shard.
 * :mod:`repro.serving.engine` — the fast serving engine behind
   ``ShardedServiceCluster(engine="fast")`` (the default): serve-transition
   caching, array-level batch formation, shard/deadline heaps and streaming
@@ -74,6 +77,7 @@ from repro.serving.faults import (
     FAULT_KINDS,
     FAULT_RECOVER,
     FAULT_SLOWDOWN,
+    DrainPlanner,
     FaultEvent,
     FaultSchedule,
     FaultStats,
@@ -121,6 +125,7 @@ __all__ = [
     "POLICY_ROUND_ROBIN",
     "POLICY_LEAST_LOADED",
     "POLICY_LOCALITY",
+    "DrainPlanner",
     "FaultEvent",
     "FaultSchedule",
     "FaultStats",

@@ -54,7 +54,13 @@ if TYPE_CHECKING:  # control.py only imports repro.system.workload — no cycle,
         ScalingEvent,
         SLOPolicy,
     )
-from repro.serving.faults import FaultLoopHooks, FaultSchedule, FaultStats, due
+from repro.serving.faults import (
+    DrainPlanner,
+    FaultLoopHooks,
+    FaultSchedule,
+    FaultStats,
+    due,
+)
 from repro.serving.requests import InferenceRequest, RequestTrace
 from repro.serving.scheduler import BatchScheduler, RequestBatch
 from repro.system.service import GNNService, ServiceReport, build_services
@@ -193,6 +199,10 @@ class ClusterReport:
         faults: fault-injection summary (:class:`FaultStats`) of runs served
             under a :class:`~repro.serving.faults.FaultSchedule`, or None.
             Plain summary data, so it survives :meth:`compact`.
+        shard_seconds: provisioned shard-seconds measured by the autoscaled
+            online loops' lease tracking (activation to post-backlog idle),
+            or None for fixed-capacity runs — see
+            :attr:`provisioned_shard_seconds`.
     """
 
     system: str
@@ -209,6 +219,7 @@ class ClusterReport:
     scaling_timeline: List["ScalingEvent"] = field(default_factory=list)
     aggregates: Optional[ReportAggregates] = field(default=None, repr=False)
     faults: Optional[FaultStats] = None
+    shard_seconds: Optional[float] = None
 
     # ------------------------------------------------------------ aggregates
     @property
@@ -400,6 +411,20 @@ class ClusterReport:
         }
 
     @property
+    def provisioned_shard_seconds(self) -> float:
+        """Shard-seconds of provisioned capacity the run consumed.
+
+        Autoscaled online runs measure it as lease spans: a shard is paid
+        from activation until it actually goes idle after a scale-down
+        (drain-aware scaling lowers that horizon by migrating the backlog
+        away).  Fixed-capacity runs pay every shard for the whole
+        makespan.
+        """
+        if self.shard_seconds is not None:
+            return self.shard_seconds
+        return self.num_shards * self.makespan_seconds
+
+    @property
     def shard_utilization(self) -> List[float]:
         """Per-shard fraction of the makespan spent serving batches."""
         if self.makespan_seconds <= 0:
@@ -445,8 +470,15 @@ class ClusterReport:
             },
             "slo": self.slo.as_dict() if self.slo is not None else None,
             "faults": self.faults.as_dict() if self.faults is not None else None,
+            "shard_seconds": self.provisioned_shard_seconds,
             "scaling_timeline": [
-                [event.seconds, event.active_shards, event.reason]
+                [
+                    event.seconds,
+                    event.active_shards,
+                    event.reason,
+                    event.migrated,
+                    event.completed,
+                ]
                 for event in self.scaling_timeline
             ],
         }
@@ -517,6 +549,54 @@ def _coerce_config(config: Optional["ServingConfig"], method: str, **legacy):
     )
 
 
+class ShardLeaseTracker:
+    """Provisioned shard-seconds accounting for autoscaled online runs.
+
+    A shard's lease opens when it (re)enters the autoscaler's active
+    prefix and closes at a scale-down — at ``max(now, busy_until)``, when
+    the shard actually goes idle after finishing what it still holds.
+    With drain enabled the busy horizon has already dropped back to the
+    in-flight floor by then, which is exactly how voluntary drains save
+    shard-seconds: the leaving shard is not paid for backlog that migrated
+    away.  Leases still open when the run ends close at the run's last
+    finish.  Leases never overlap: a reactivation opens no earlier than
+    the shard's previous close, so a backlog paid through a scale-down is
+    not paid again after a scale-up.
+
+    Shared by the reference loop and the fast engine — both perform the
+    identical open/close sequence in event order, so the resulting
+    ``shard_seconds`` is byte-identical across engines.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        self._opened: List[Optional[float]] = [None] * num_shards
+        self._closed_at = [0.0] * num_shards
+        self.total = 0.0
+
+    def open(self, shard_id: int, now: float) -> None:
+        """Start the shard's lease at ``now`` (no-op when already open)."""
+        if self._opened[shard_id] is None:
+            self._opened[shard_id] = max(now, self._closed_at[shard_id])
+
+    def close(self, shard_id: int, seconds: float) -> None:
+        """End the shard's lease at ``seconds`` (clamped to its open)."""
+        opened = self._opened[shard_id]
+        if opened is None:
+            return
+        end = max(seconds, opened)
+        self.total += end - opened
+        self._closed_at[shard_id] = end
+        self._opened[shard_id] = None
+
+    def finish(self, end: float) -> float:
+        """Close every open lease at the run's end; returns the total."""
+        for shard_id, opened in enumerate(self._opened):
+            if opened is not None:
+                self.total += max(end, opened) - opened
+                self._opened[shard_id] = None
+        return self.total
+
+
 class _LoopState:
     """Mutable accounting shared by the offline and online event loops."""
 
@@ -543,6 +623,15 @@ class ShardedServiceCluster:
             from its preferred shard to the earliest-free shard when the
             preferred backlog exceeds this many seconds (``inf`` pins
             strictly).
+        rebalance_seconds: under the locality policy, enables stale-state
+            rebalancing of the home-shard hash fallback: when the home
+            shard served a *different* workload key within the last
+            ``rebalance_seconds``, its reconfiguration state no longer
+            matches this batch and dispatch re-homes to the earliest-free
+            shard whose recent traffic does not conflict (unclaimed,
+            same-key, or stale) instead of paying reconfiguration churn on
+            every alternating batch.  ``None`` (default) disables
+            rebalancing.
         engine: one of :data:`ENGINES` — ``"fast"`` (default) runs the
             indexed event-heap engine with serve-transition caching from
             :mod:`repro.serving.engine`; ``"reference"`` runs the plain
@@ -557,6 +646,7 @@ class ShardedServiceCluster:
         scheduler: Optional[BatchScheduler] = None,
         policy: str = POLICY_LEAST_LOADED,
         locality_spill_seconds: float = float("inf"),
+        rebalance_seconds: Optional[float] = None,
         engine: str = ENGINE_FAST,
     ) -> None:
         if num_shards < 1:
@@ -567,6 +657,8 @@ class ShardedServiceCluster:
             )
         if locality_spill_seconds < 0:
             raise ValueError("locality_spill_seconds must be non-negative")
+        if rebalance_seconds is not None and rebalance_seconds < 0:
+            raise ValueError("rebalance_seconds must be non-negative")
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown serving engine {engine!r}; expected one of {ENGINES}"
@@ -576,12 +668,24 @@ class ShardedServiceCluster:
         self.scheduler = scheduler or BatchScheduler(max_batch_size=1)
         self.policy = policy
         self.locality_spill_seconds = locality_spill_seconds
+        self.rebalance_seconds = rebalance_seconds
         self.engine = engine
-        self._rr_next = 0
+        self._reset_dispatch_state()
         # Serve-transition cache shared by every fast-engine run on this
         # cluster: the shards are replicas of one template, so a transition
         # observed on one shard replays soundly on any other.
         self._serve_cache: Dict[tuple, tuple] = {}
+
+    def _reset_dispatch_state(self) -> None:
+        """Reset per-run dispatch memory (round-robin cursor, shard keys).
+
+        Both engines call this at the start of every run so dispatch
+        history never leaks across runs on the same cluster.
+        """
+        self._rr_next = 0
+        # Per shard: (workload key, ready time) of the last batch the
+        # locality hash fallback dispatched there (stale-state rebalance).
+        self._shard_key: List[Optional[tuple]] = [None] * self.num_shards
 
     @property
     def num_shards(self) -> int:
@@ -610,6 +714,10 @@ class ShardedServiceCluster:
         home-shard hash of the workload key.  Either preference spills to
         the earliest-free active shard once the preferred backlog exceeds
         ``locality_spill_seconds``.
+
+        With ``rebalance_seconds`` set, the hash fallback additionally
+        re-homes when the home shard's reconfiguration state has gone
+        stale relative to the live traffic mix (see :meth:`_rebalance`).
         """
         least_loaded = min(active, key=lambda i: (busy_until[i], i))
         if self.policy == POLICY_ROUND_ROBIN:
@@ -624,11 +732,49 @@ class ShardedServiceCluster:
                 preferred = min(configured, key=lambda i: (busy_until[i], i))
             else:
                 preferred = active[_home_shard(batch, len(active))]
+                if self.rebalance_seconds is not None:
+                    preferred = self._rebalance(batch, busy_until, active, preferred)
             backlog = busy_until[preferred] - batch.ready_seconds
-            if backlog <= self.locality_spill_seconds:
-                return preferred
-            return least_loaded
+            chosen = preferred if backlog <= self.locality_spill_seconds else least_loaded
+            if self.rebalance_seconds is not None:
+                self._shard_key[chosen] = (batch.key, batch.ready_seconds)
+            return chosen
         return least_loaded
+
+    def _rebalance(
+        self,
+        batch: RequestBatch,
+        busy_until: List[float],
+        active: Sequence[int],
+        home: int,
+    ) -> int:
+        """Stale-state re-homing for the locality hash fallback.
+
+        The home shard keeps the batch unless it *recently* (within
+        ``rebalance_seconds`` of this batch's ready time) dispatched a
+        batch with a *different* workload key — its reconfiguration state
+        is then warm for conflicting traffic, and pinning this batch there
+        pays reconfiguration churn on every alternation.  In that case the
+        batch re-homes to the earliest-free active shard whose recent
+        traffic does not conflict: unclaimed, same-key, or stale.  When
+        every active shard conflicts the home shard keeps the batch (no
+        rebalance target is better than any other).
+        """
+
+        def conflicts(shard_id: int) -> bool:
+            entry = self._shard_key[shard_id]
+            return (
+                entry is not None
+                and entry[0] != batch.key
+                and batch.ready_seconds - entry[1] <= self.rebalance_seconds
+            )
+
+        if not conflicts(home):
+            return home
+        candidates = [i for i in active if not conflicts(i)]
+        if not candidates:
+            return home
+        return min(candidates, key=lambda i: (busy_until[i], i))
 
     def _dispatch(
         self, batch: RequestBatch, state: _LoopState, active: Sequence[int]
@@ -791,7 +937,7 @@ class ShardedServiceCluster:
             from repro.serving.engine import serve_trace_fast
 
             return serve_trace_fast(self, trace, slo, faults)
-        self._rr_next = 0
+        self._reset_dispatch_state()
         batches = self.scheduler.schedule(trace)
         state = _LoopState(self.num_shards)
         fault_stats: Optional[FaultStats] = None
@@ -915,7 +1061,7 @@ class ShardedServiceCluster:
             from repro.serving.engine import serve_online_fast
 
             return serve_online_fast(self, source, slo, admission, autoscaler, faults)
-        self._rr_next = 0
+        self._reset_dispatch_state()
         state = _LoopState(self.num_shards)
         fair = self.scheduler.fair
         batcher = self.scheduler.fair_batcher() if fair else None
@@ -931,9 +1077,11 @@ class ShardedServiceCluster:
         # Arrival times of recent sheds: demand the autoscaler must still see.
         recent_sheds: deque = deque()
         active_count = self.num_shards
+        start_seconds = 0.0
         if autoscaler is not None:
             first_peek = source.peek_time()
-            active_count = autoscaler.start(first_peek if first_peek is not None else 0.0)
+            start_seconds = first_peek if first_peek is not None else 0.0
+            active_count = autoscaler.start(start_seconds)
         if admission is not None:
             admission.reset()
         first_arrival: Optional[float] = None
@@ -948,6 +1096,18 @@ class ShardedServiceCluster:
             )
         guaranteed_open = 0
         ctx = faults.runtime(self.num_shards, slo) if faults is not None else None
+        planner = (
+            DrainPlanner(self.num_shards)
+            if autoscaler is not None and autoscaler.drain
+            else None
+        )
+        if ctx is not None and planner is not None:
+            ctx.attach_planner(planner)
+        leases: Optional[ShardLeaseTracker] = None
+        if autoscaler is not None:
+            leases = ShardLeaseTracker(self.num_shards)
+            for shard_id in range(active_count):
+                leases.open(shard_id, start_seconds)
 
         def dispatch_batch(batch: RequestBatch) -> None:
             nonlocal guaranteed_open
@@ -957,6 +1117,9 @@ class ShardedServiceCluster:
                         guaranteed_open -= 1
             if ctx is not None:
                 ctx.dispatch(batch, env)
+                return
+            if planner is not None:
+                planner.dispatch(batch, env)
                 return
             finish = self._dispatch(batch, state, range(active_count))
             for request in batch.requests:
@@ -983,9 +1146,19 @@ class ShardedServiceCluster:
             self._fault_hooks(
                 state, lambda: active_count, commit_online, fail_request
             )
-            if ctx is not None
+            if ctx is not None or planner is not None
             else None
         )
+        if planner is not None:
+
+            def on_planned(batch: RequestBatch) -> None:
+                # Admitted estimates clear at plan time, not commit time:
+                # the planned work is already priced into the busy horizon
+                # the admission backlog reads.
+                for request in batch.requests:
+                    pending_estimates.pop(request.request_id, None)
+
+            planner.on_planned = on_planned
 
         def enqueue(request: InferenceRequest, now: float) -> None:
             nonlocal guaranteed_open
@@ -1023,8 +1196,15 @@ class ShardedServiceCluster:
                 )
             t_fault = ctx.next_fault_time() if ctx is not None else None
             t_retry = ctx.next_retry_time() if ctx is not None else None
-            # Event precedence at timestamp ties: fault < deadline < retry <
-            # arrival (shared with the fast engine through ``due``).
+            t_commit = planner.next_commit_time() if planner is not None else None
+            # Event precedence at timestamp ties: commit < fault < deadline <
+            # retry < arrival (shared with the fast engine through ``due``).
+            # Commits fire first so work whose service has begun is in
+            # flight — and immovable — before any same-instant scale
+            # decision or fault consults the plan.
+            if due(t_commit, t_fault, t_deadline, t_retry, t_arrival):
+                planner.commit_next(env)
+                continue
             if due(t_fault, t_deadline, t_retry, t_arrival):
                 ctx.advance(env, t_fault)
                 continue
@@ -1066,6 +1246,10 @@ class ShardedServiceCluster:
                     # Work the fault layer is holding (retries, parked
                     # batches) is still demand the autoscaler must see.
                     queue_depth += ctx.backlog_count()
+                if planner is not None:
+                    # Planned-but-uncommitted dispatches are queued work
+                    # too; commit-at-dispatch counted them via inflight.
+                    queue_depth += planner.planned
                 previous = active_count
                 if guaranteed_tenants is not None:
                     guaranteed_depth = guaranteed_open + (
@@ -1083,8 +1267,41 @@ class ShardedServiceCluster:
                     state.busy_until[shard_id] = max(
                         state.busy_until[shard_id], now + warmup
                     )
+                    leases.open(shard_id, now)
                 if ctx is not None and active_count > previous:
                     ctx.flush(env)
+                if active_count < previous:
+                    if planner is not None:
+                        if ctx is not None:
+                            # Leaving = dispatchable before minus dispatchable
+                            # after, so standby substitution under faults is
+                            # honoured (a dead prefix shard drains nothing).
+                            surviving = set(ctx.active_alive(active_count))
+                            leaving = [
+                                shard_id
+                                for shard_id in ctx.active_alive(previous)
+                                if shard_id not in surviving
+                            ]
+                        else:
+                            leaving = list(range(active_count, previous))
+                        drained, completed = planner.drain(leaving, now, env)
+                        migrated = 0
+                        for stranded in drained:
+                            migrated += len(stranded.requests)
+                            rebatch = RequestBatch(
+                                requests=stranded.requests, ready_seconds=now
+                            )
+                            if ctx is not None:
+                                ctx.dispatch(rebatch, env)
+                            else:
+                                planner.dispatch(rebatch, env)
+                        autoscaler.record_drain(migrated, completed)
+                    # Leases close after the drain so a drained shard is
+                    # billed to its lowered (post-migration) horizon.
+                    for shard_id in range(active_count, previous):
+                        leases.close(
+                            shard_id, max(now, state.busy_until[shard_id])
+                        )
             if admission is not None:
                 # Backlog of the least-loaded active shard plus the admitted
                 # but undispatched work, spread across the active shards —
@@ -1166,6 +1383,7 @@ class ShardedServiceCluster:
         fault_stats = (
             ctx.finalize(first_arrival, state.last_finish) if ctx is not None else None
         )
+        shard_seconds = leases.finish(state.last_finish) if leases is not None else None
         makespan = 0.0
         if state.served and first_arrival is not None:
             makespan = state.last_finish - first_arrival
@@ -1183,6 +1401,7 @@ class ShardedServiceCluster:
             decisions=decisions,
             scaling_timeline=list(autoscaler.timeline()) if autoscaler is not None else [],
             faults=fault_stats,
+            shard_seconds=shard_seconds,
         )
 
     def serve_workloads(self, workloads: List[WorkloadProfile]) -> ClusterReport:

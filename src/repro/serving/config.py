@@ -22,7 +22,9 @@ controller (``batch_aware``, ``record_decisions``) and the fault schedule
   execution profile instead of shed;
 * **faults / fault_aware** inject a shard fault schedule and optionally
   override its health-check awareness;
-* **autoscaler** attaches elastic scaling (online loop only).
+* **autoscaler** attaches elastic scaling (online loop only); with its
+  ``drain=True`` default a scale-down drains-and-migrates queued work to
+  the surviving shards instead of stranding it.
 
 The legacy keyword arguments still work through a shim that emits
 ``DeprecationWarning`` and maps them onto a config — byte-identical reports
@@ -71,7 +73,9 @@ class ServingConfig:
         degradation: quality-latency tiering policy; admission downgrades
             SLO-violating requests to their cheaper profile instead of
             shedding when the degraded prediction fits.
-        autoscaler: elastic shard scaling (``serve_online`` only).
+        autoscaler: elastic shard scaling (``serve_online`` only); the
+            autoscaler's own ``drain`` flag picks drain-and-migrate
+            (default) versus legacy stranding scale-downs.
         faults: shard crash/recover/slowdown schedule for the run.
         fault_aware: override the schedule's ``fault_aware`` flag (health
             checks on/off) without rebuilding it; requires ``faults``.

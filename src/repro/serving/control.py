@@ -36,7 +36,7 @@ verdicts themselves are unaffected.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional
 
 from repro.serving.requests import DEFAULT_TENANT
@@ -65,6 +65,10 @@ class TenantQuota:
         burst_seconds: token-bucket depth, in seconds of accrual at the
             bucket's rate — a tenant may burst ``rate * burst_seconds``
             requests after an idle stretch before its steady rate applies.
+            The credit is additionally clamped to
+            :data:`MAX_BURST_TOKENS` requests, so a long-silent
+            high-guarantee tenant cannot flood an unbounded instantaneous
+            burst past its steady ``guaranteed_rps`` on return.
     """
 
     guaranteed_rps: float = 0.0
@@ -251,11 +255,22 @@ class AdmissionDecision:
     degraded: bool = False
 
 
+#: Hard cap on a token bucket's burst credit, in requests.  ``burst_seconds``
+#: scales a bucket's depth with its rate (``rate * burst_seconds``), so
+#: without an absolute ceiling a high-rate tenant that goes silent
+#: accumulates an effectively unbounded instantaneous burst allowance and
+#: floods far past its ``guaranteed_rps`` the moment it returns.  The clamp
+#: bounds that post-idle flood while leaving every small-rate bucket (and
+#: the steady-state refill behaviour) untouched.
+MAX_BURST_TOKENS = 64.0
+
+
 class _TokenBucket:
     """Deterministic token bucket (simulated time, no wall clock).
 
     Starts full, so a tenant gets its burst allowance immediately; refills
-    continuously at ``rate`` tokens per simulated second up to ``capacity``.
+    continuously at ``rate`` tokens per simulated second up to ``capacity``
+    (itself clamped to :data:`MAX_BURST_TOKENS` by the controller).
     """
 
     __slots__ = ("rate", "capacity", "tokens", "last_seconds")
@@ -379,7 +394,7 @@ class AdmissionController:
             if rate is None or rate <= 0:
                 table[tenant] = None
             else:
-                capacity = max(1.0, rate * burst_seconds)
+                capacity = max(1.0, min(rate * burst_seconds, MAX_BURST_TOKENS))
                 table[tenant] = _TokenBucket(rate, capacity, now_seconds)
         return table[tenant]
 
@@ -460,11 +475,18 @@ class ScalingEvent:
         seconds: simulated time of the action.
         active_shards: shard count in effect from this instant.
         reason: ``"init"``, ``"scale-up"`` or ``"scale-down"``.
+        migrated: requests whose planned-but-unstarted batches were drained
+            off the leaving shard and re-dispatched among the survivors
+            (scale-down events on a draining scaler; 0 otherwise).
+        completed: requests still in flight on the leaving shard at the
+            scale-down instant, left to run to completion.
     """
 
     seconds: float
     active_shards: int
     reason: str
+    migrated: int = 0
+    completed: int = 0
 
 
 class Autoscaler:
@@ -500,6 +522,15 @@ class Autoscaler:
             cluster even while the global depth looks healthy, so paying
             tenants are not starved behind best-effort load.  ``None``
             keeps the scaler global-depth-only.
+        drain: drain-and-migrate on voluntary scale-down (the default).
+            The serving loops then defer commits through a
+            :class:`~repro.serving.faults.DrainPlanner`: a scale-down hands
+            the leaving shard's planned-but-unstarted backlog to the
+            survivors, in-flight work runs to completion, and the event's
+            ``migrated`` / ``completed`` counts are recorded via
+            :meth:`record_drain`.  ``drain=False`` restores the drain-less
+            commit-at-dispatch behaviour (the pre-drain baseline the
+            elastic-scaling bench compares against).
     """
 
     def __init__(
@@ -512,6 +543,7 @@ class Autoscaler:
         warmup_seconds: Optional[float] = None,
         shed_memory_seconds: float = 1.0,
         guaranteed_scale_up_depth: Optional[float] = None,
+        drain: bool = True,
     ) -> None:
         if min_shards < 1:
             raise ValueError("min_shards must be >= 1")
@@ -535,6 +567,7 @@ class Autoscaler:
         self.warmup_seconds = warmup_seconds
         self.shed_memory_seconds = shed_memory_seconds
         self.guaranteed_scale_up_depth = guaranteed_scale_up_depth
+        self.drain = drain
         self.active = min_shards
         self.events: List[ScalingEvent] = []
         self._above = 0
@@ -595,6 +628,23 @@ class Autoscaler:
             self._below = 0
             self.events.append(ScalingEvent(now_seconds, self.active, "scale-down"))
         return self.active
+
+    def record_drain(self, migrated: int, completed: int) -> None:
+        """Attach drain outcomes to the most recent scaling event.
+
+        The serving loops call this right after the scale-down they just
+        observed: ``migrated`` planned requests re-picked a surviving
+        shard, ``completed`` were in flight on the leaving shard and ran
+        to completion.
+        """
+        if not self.events:
+            return
+        last = self.events[-1]
+        self.events[-1] = replace(
+            last,
+            migrated=last.migrated + migrated,
+            completed=last.completed + completed,
+        )
 
     def timeline(self) -> List[ScalingEvent]:
         """The scaling history, oldest first."""

@@ -43,7 +43,7 @@ from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import StreamingLatencyStats
-from repro.serving.faults import FaultLoopHooks, FaultSchedule, due
+from repro.serving.faults import DrainPlanner, FaultLoopHooks, FaultSchedule, due
 from repro.serving.requests import InferenceRequest
 from repro.serving.scheduler import RequestBatch
 from repro.system.workload import QUALITY_DEGRADED, WorkloadProfile
@@ -60,14 +60,19 @@ class ShardHeap:
     ``busy`` is the authoritative per-shard busy-until list (shared with the
     report's utilisation accounting); the heap holds ``(busy_until, shard)``
     entries with lazy invalidation — an entry is stale when it no longer
-    matches ``busy``.  Horizons only grow, so staleness is a simple value
-    comparison.  :meth:`pick` returns the shard the reference loop's
+    matches ``busy``.  Staleness is a *value* comparison, not a
+    monotonicity assumption: horizons normally only grow, but a voluntary
+    drain lowers a leaving shard's horizon back to its in-flight floor,
+    which simply revalidates (or duplicates) an earlier entry — every
+    shard always has one entry matching its current value, so :meth:`pick`
+    stays correct.  :meth:`pick` returns the shard the reference loop's
     ``min(active, key=lambda i: (busy_until[i], i))`` would return: the heap
     order ``(busy, shard_id)`` is exactly that tie-break.
 
-    Entries for shards outside the active prefix (autoscaler drained) are
-    momentarily set aside during a pick and reinserted, so a later scale-up
-    sees their horizons again.
+    Entries for shards outside the active prefix (autoscaler drained or
+    scaled down mid-run) are momentarily set aside during a pick and
+    reinserted, so a pick can never land on a deactivated shard and a
+    later scale-up still sees its horizon.
     """
 
     __slots__ = ("busy", "_heap")
@@ -294,10 +299,20 @@ def _pick_shard(
             preferred = min(configured, key=lambda i: (busy[i], i))
         else:
             preferred = _home_shard(batch, active_count)
+            if cluster.rebalance_seconds is not None:
+                # Stale-state re-homing is written once, on the cluster;
+                # the heap's busy list is the authoritative horizon view.
+                preferred = cluster._rebalance(
+                    batch, busy, range(active_count), preferred
+                )
         backlog = busy[preferred] - batch.ready_seconds
         if backlog <= cluster.locality_spill_seconds:
-            return preferred
-        return heap.pick(active_count)
+            chosen = preferred
+        else:
+            chosen = heap.pick(active_count)
+        if cluster.rebalance_seconds is not None:
+            cluster._shard_key[chosen] = (batch.key, batch.ready_seconds)
+        return chosen
     return heap.pick(active_count)
 
 
@@ -311,7 +326,7 @@ def serve_trace_fast(
     """Fast offline replay — the ``engine="fast"`` path of ``serve_trace``."""
     from repro.serving.cluster import ClusterReport, ServedRequest
 
-    cluster._rr_next = 0
+    cluster._reset_dispatch_state()
     batches = cluster.scheduler.schedule_fast(trace)
     num_shards = cluster.num_shards
     heap = ShardHeap(num_shards)
@@ -449,11 +464,12 @@ def serve_online_fast(
     from repro.serving.cluster import (
         ClusterReport,
         ServedRequest,
+        ShardLeaseTracker,
         ShedRecord,
         _admission_estimate,
     )
 
-    cluster._rr_next = 0
+    cluster._reset_dispatch_state()
     num_shards = cluster.num_shards
     heap = ShardHeap(num_shards)
     busy_total = [0.0] * num_shards
@@ -477,9 +493,11 @@ def serve_online_fast(
     pending_estimates: Dict[int, float] = {}
     recent_sheds: deque = deque()
     active_count = num_shards
+    start_seconds = 0.0
     if autoscaler is not None:
         first_peek = source.peek_time()
-        active_count = autoscaler.start(first_peek if first_peek is not None else 0.0)
+        start_seconds = first_peek if first_peek is not None else 0.0
+        active_count = autoscaler.start(start_seconds)
     if admission is not None:
         admission.reset()
     first_arrival: Optional[float] = None
@@ -494,6 +512,18 @@ def serve_online_fast(
         )
     guaranteed_open = 0
     ctx = faults.runtime(num_shards, slo) if faults is not None else None
+    planner = (
+        DrainPlanner(num_shards)
+        if autoscaler is not None and autoscaler.drain
+        else None
+    )
+    if ctx is not None and planner is not None:
+        ctx.attach_planner(planner)
+    leases: Optional[ShardLeaseTracker] = None
+    if autoscaler is not None:
+        leases = ShardLeaseTracker(num_shards)
+        for shard_id in range(active_count):
+            leases.open(shard_id, start_seconds)
 
     def dispatch_batch(batch: RequestBatch) -> None:
         nonlocal last_finish, num_batches, guaranteed_open
@@ -503,6 +533,9 @@ def serve_online_fast(
                     guaranteed_open -= 1
         if ctx is not None:
             ctx.dispatch(batch, env)
+            return
+        if planner is not None:
+            planner.dispatch(batch, env)
             return
         members = batch.requests
         ready_seconds = batch.ready_seconds
@@ -609,9 +642,19 @@ def serve_online_fast(
             commit=fault_commit,
             on_failed=fault_failed,
         )
-        if ctx is not None
+        if ctx is not None or planner is not None
         else None
     )
+    if planner is not None:
+
+        def on_planned(batch: RequestBatch) -> None:
+            # Admitted estimates clear at plan time, not commit time: the
+            # planned work is already priced into the busy horizon the
+            # admission backlog reads.
+            for request in batch.requests:
+                pending_estimates.pop(request.request_id, None)
+
+        planner.on_planned = on_planned
 
     def enqueue(request: InferenceRequest, now: float) -> None:
         nonlocal guaranteed_open, open_count
@@ -643,8 +686,15 @@ def serve_online_fast(
         t_deadline = expiring[0] if expiring is not None else None
         t_fault = ctx.next_fault_time() if ctx is not None else None
         t_retry = ctx.next_retry_time() if ctx is not None else None
-        # Event precedence at timestamp ties: fault < deadline < retry <
-        # arrival (shared with the reference engine through ``due``).
+        t_commit = planner.next_commit_time() if planner is not None else None
+        # Event precedence at timestamp ties: commit < fault < deadline <
+        # retry < arrival (shared with the reference engine through
+        # ``due``).  Commits fire first so work whose service has begun is
+        # in flight — and immovable — before any same-instant scale
+        # decision or fault consults the plan.
+        if due(t_commit, t_fault, t_deadline, t_retry, t_arrival):
+            planner.commit_next(env)
+            continue
         if due(t_fault, t_deadline, t_retry, t_arrival):
             ctx.advance(env, t_fault)
             continue
@@ -678,6 +728,10 @@ def serve_online_fast(
                 # Work the fault layer is holding (retries, parked batches)
                 # is still demand the autoscaler must see.
                 queue_depth += ctx.backlog_count()
+            if planner is not None:
+                # Planned-but-uncommitted dispatches are queued work too;
+                # commit-at-dispatch counted them via inflight.
+                queue_depth += planner.planned
             previous = active_count
             if guaranteed_tenants is not None:
                 guaranteed_depth = guaranteed_open + (
@@ -693,8 +747,39 @@ def serve_online_fast(
                 if warmup is None:
                     warmup = cluster.shards[shard_id].warmup_seconds
                 heap.update(shard_id, max(heap.busy[shard_id], now + warmup))
+                leases.open(shard_id, now)
             if ctx is not None and active_count > previous:
                 ctx.flush(env)
+            if active_count < previous:
+                if planner is not None:
+                    if ctx is not None:
+                        # Leaving = dispatchable before minus dispatchable
+                        # after, so standby substitution under faults is
+                        # honoured (a dead prefix shard drains nothing).
+                        surviving = set(ctx.active_alive(active_count))
+                        leaving = [
+                            shard_id
+                            for shard_id in ctx.active_alive(previous)
+                            if shard_id not in surviving
+                        ]
+                    else:
+                        leaving = list(range(active_count, previous))
+                    drained, completed = planner.drain(leaving, now, env)
+                    migrated = 0
+                    for stranded in drained:
+                        migrated += len(stranded.requests)
+                        rebatch = RequestBatch(
+                            requests=stranded.requests, ready_seconds=now
+                        )
+                        if ctx is not None:
+                            ctx.dispatch(rebatch, env)
+                        else:
+                            planner.dispatch(rebatch, env)
+                    autoscaler.record_drain(migrated, completed)
+                # Leases close after the drain so a drained shard is
+                # billed to its lowered (post-migration) horizon.
+                for shard_id in range(active_count, previous):
+                    leases.close(shard_id, max(now, heap.busy[shard_id]))
         if admission is not None:
             # Same prediction as the reference loop: least-loaded active
             # backlog plus admitted-but-undispatched work spread across the
@@ -774,6 +859,7 @@ def serve_online_fast(
     fault_stats = (
         ctx.finalize(first_arrival, last_finish) if ctx is not None else None
     )
+    shard_seconds = leases.finish(last_finish) if leases is not None else None
     makespan = 0.0
     if served and first_arrival is not None:
         makespan = last_finish - first_arrival
@@ -794,4 +880,5 @@ def serve_online_fast(
             count=len(served), shed_count=len(shed_records)
         ),
         faults=fault_stats,
+        shard_seconds=shard_seconds,
     )

@@ -31,6 +31,13 @@ the no-health-check death spiral), queued work dies with its shard at
 a crash, and in-flight failures are terminal — no drain, no
 migration, no retries.
 
+The *voluntary* counterpart of the crash drain lives here too:
+:class:`DrainPlanner` defers the loops' commit-at-dispatch so an
+:class:`~repro.serving.control.Autoscaler` scale-down can hand a healthy
+shard's planned-but-unstarted backlog to the survivors instead of
+stranding it (see the class docstring).  Both engines drive it through
+the same :class:`FaultLoopHooks`, exactly like the fault runtime.
+
 :class:`RandomFaults` generates reproducible schedules from a seed,
 mirroring the arrival-generator idiom (`numpy` ``default_rng``).
 """
@@ -40,6 +47,7 @@ from __future__ import annotations
 import heapq
 import math
 from bisect import bisect_right
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -309,6 +317,162 @@ class FaultLoopHooks:
         self.on_failed = on_failed
 
 
+class DrainPlanner:
+    """Deferred-commit dispatch plan enabling voluntary scale-down drains.
+
+    The serving loops normally commit a batch the moment it is dispatched:
+    shard, start and finish are computed up front and the served record
+    lands immediately (commit-at-dispatch).  That makes a *voluntary*
+    scale-down impossible to honour — work already queued toward the
+    drained shard is retroactively part of history.  When an
+    :class:`~repro.serving.control.Autoscaler` runs with ``drain=True``
+    the online loops route every successful dispatch through this planner
+    instead:
+
+    * :meth:`plan` records the dispatch outcome and advances the shard's
+      busy horizon (so later picks see the queue) but **defers** the
+      commit;
+    * the loop fires :meth:`commit_next` as a first-class event at each
+      entry's *start* time — once service begins the work is in flight
+      and can no longer migrate;
+    * on a scale-down the loop calls :meth:`drain`: planned-but-unstarted
+      entries on the leaving shards are cancelled and their batches
+      returned for re-dispatch among the survivors, in-flight service
+      runs to completion, and each drained shard's busy horizon drops
+      back to its *floor* — the finish of its last committed work, kept
+      current by :meth:`raise_floor` when the fault runtime moves a
+      horizon without a planned entry (recovery, in-flight kill).
+
+    Both engines drive the planner through the same
+    :class:`FaultLoopHooks`, which is what keeps drained runs
+    byte-identical across the reference loop and the fast engine.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        self.num_shards = num_shards
+        self._heap: List[Tuple[float, int]] = []  # (start_seconds, plan seq)
+        self._entries: Dict[int, tuple] = {}
+        self._queued: List[deque] = [deque() for _ in range(num_shards)]
+        self._inflight: List[deque] = [deque() for _ in range(num_shards)]
+        self._seq = 0
+        #: Per shard: the horizon a drain may not lower ``busy`` below.
+        self.floor: List[float] = [0.0] * num_shards
+        #: Requests planned but not yet committed (counts toward queue depth).
+        self.planned = 0
+        #: Loop hook fired at plan time (the loops clear their
+        #: pending-admission estimates here, not at commit, so the planned
+        #: work is not double-counted against the busy horizon).
+        self.on_planned: Optional[Callable[[RequestBatch], None]] = None
+        #: Degraded-window accounting hook (wired to the fault runtime's
+        #: ``_note_degraded`` by :meth:`FaultRuntime.attach_planner`).
+        self.note_degraded: Optional[Callable[[RequestBatch, float, float, float], None]] = None
+
+    # ------------------------------------------------------------- planning
+    def dispatch(self, batch: RequestBatch, env: FaultLoopHooks) -> None:
+        """The fault-free dispatch path: pick, price, plan.
+
+        Written once so the reference loop and the fast engine share the
+        exact same pick/serve/plan sequence when draining without a fault
+        schedule.
+        """
+        active = range(env.active_count())
+        workload = env.merged(batch)
+        shard_id = env.pick(batch, workload, active)
+        start = max(batch.ready_seconds, env.busy(shard_id))
+        report, duration = env.serve(shard_id, workload)
+        finish = start + duration
+        env.set_busy(shard_id, finish)
+        self.plan(batch, shard_id, start, duration, report, finish)
+
+    def plan(
+        self,
+        batch: RequestBatch,
+        shard_id: int,
+        start: float,
+        duration: float,
+        report: object,
+        finish: float,
+    ) -> None:
+        """Record a dispatch outcome whose commit is deferred to ``start``."""
+        seq = self._seq
+        self._seq += 1
+        self._entries[seq] = (batch, shard_id, start, duration, report, finish)
+        self._queued[shard_id].append(seq)
+        heapq.heappush(self._heap, (start, seq))
+        self.planned += len(batch.requests)
+        if self.on_planned is not None:
+            self.on_planned(batch)
+
+    # -------------------------------------------------------------- commits
+    def next_commit_time(self) -> Optional[float]:
+        """Start time of the earliest planned entry (None when drained)."""
+        heap = self._heap
+        while heap:
+            start, seq = heap[0]
+            if seq in self._entries:
+                return start
+            heapq.heappop(heap)  # cancelled by a drain; discard lazily
+        return None
+
+    def commit_next(self, env: FaultLoopHooks) -> None:
+        """Commit the earliest planned entry: its service begins now."""
+        while True:
+            _, seq = heapq.heappop(self._heap)
+            entry = self._entries.pop(seq, None)
+            if entry is not None:
+                break
+        batch, shard_id, start, duration, report, finish = entry
+        queued = self._queued[shard_id]
+        if queued and queued[0] == seq:
+            # Per-shard starts are non-decreasing, so commits leave in
+            # plan (FIFO) order; drains clear whole queues at once.
+            queued.popleft()
+        self.planned -= len(batch.requests)
+        if finish > self.floor[shard_id]:
+            self.floor[shard_id] = finish
+        self._inflight[shard_id].append((finish, len(batch.requests)))
+        env.add_busy(shard_id, duration)
+        env.commit(batch, shard_id, start, duration, report, finish)
+        if self.note_degraded is not None:
+            self.note_degraded(batch, start, duration, finish)
+
+    # --------------------------------------------------------------- drains
+    def raise_floor(self, shard_id: int, seconds: float) -> None:
+        """Forbid drains from lowering the shard's horizon below ``seconds``."""
+        if seconds > self.floor[shard_id]:
+            self.floor[shard_id] = seconds
+
+    def drain(
+        self, leaving: Sequence[int], now: float, env: FaultLoopHooks
+    ) -> Tuple[List[RequestBatch], int]:
+        """Drain the ``leaving`` shards at a voluntary scale-down.
+
+        Cancels every planned-but-unstarted entry on those shards and
+        returns ``(batches, completed)``: the cancelled batches in plan
+        order, ready for re-dispatch among the survivors, and the number
+        of requests still in flight on the leaving shards (they run to
+        completion).  Each drained shard's busy horizon drops back to its
+        floor so reactivation — or standby substitution under faults —
+        sees it idle instead of stuck behind migrated work.
+        """
+        batches: List[RequestBatch] = []
+        completed = 0
+        for shard_id in leaving:
+            inflight = self._inflight[shard_id]
+            while inflight and inflight[0][0] <= now:
+                inflight.popleft()
+            completed += sum(count for _, count in inflight)
+            for seq in self._queued[shard_id]:
+                entry = self._entries.pop(seq, None)
+                if entry is None:
+                    continue
+                batches.append(entry[0])
+                self.planned -= len(entry[0].requests)
+            self._queued[shard_id].clear()
+            env.set_busy(shard_id, self.floor[shard_id])
+        return batches, completed
+
+
 class FaultRuntime:
     """Per-run mutable fault state shared by both serving engines.
 
@@ -370,6 +534,20 @@ class FaultRuntime:
         self.failed = 0
         self.served_degraded = 0
         self.slo_met_degraded = 0
+        #: Optional deferred-commit planner (voluntary scale-down drains).
+        self.planner: Optional[DrainPlanner] = None
+
+    def attach_planner(self, planner: DrainPlanner) -> None:
+        """Route successful dispatches through a deferred-commit planner.
+
+        Planned entries never straddle a crash (a successful dispatch
+        already proved no crash lands before its finish), so the planner
+        only has to learn about the horizons the runtime moves *without*
+        planning — recovery rejoins and in-flight kills — via
+        :meth:`DrainPlanner.raise_floor`.
+        """
+        self.planner = planner
+        planner.note_degraded = self._note_degraded
 
     # ------------------------------------------------------ schedule queries
     def next_fault_time(self) -> Optional[float]:
@@ -430,7 +608,10 @@ class FaultRuntime:
                 self.alive[shard] = True
                 self.factor[shard] = 1.0
                 # A recovered shard rejoins idle no earlier than its revival.
-                env.set_busy(shard, max(env.busy(shard), event.seconds))
+                rejoin = max(env.busy(shard), event.seconds)
+                env.set_busy(shard, rejoin)
+                if self.planner is not None:
+                    self.planner.raise_floor(shard, rejoin)
             else:
                 self.factor[shard] = event.factor
             changed = True
@@ -493,10 +674,15 @@ class FaultRuntime:
             # retries with exponential backoff until its budget runs out.
             env.set_busy(shard_id, crash_at)
             env.add_busy(shard_id, crash_at - start)
+            if self.planner is not None:
+                self.planner.raise_floor(shard_id, crash_at)
             for request in batch.requests:
                 self._retry_or_fail(request, crash_at, env)
             return
         env.set_busy(shard_id, finish)
+        if self.planner is not None:
+            self.planner.plan(batch, shard_id, start, duration, report, finish)
+            return
         env.add_busy(shard_id, duration)
         env.commit(batch, shard_id, start, duration, report, finish)
         self._note_degraded(batch, start, duration, finish)
@@ -536,11 +722,16 @@ class FaultRuntime:
         if crash_at is not None and crash_at < finish:
             env.set_busy(shard_id, crash_at)
             env.add_busy(shard_id, crash_at - start)
+            if self.planner is not None:
+                self.planner.raise_floor(shard_id, crash_at)
             for request in batch.requests:
                 self.failed += 1
                 env.on_failed(request, crash_at)
             return
         env.set_busy(shard_id, finish)
+        if self.planner is not None:
+            self.planner.plan(batch, shard_id, start, duration, report, finish)
+            return
         env.add_busy(shard_id, duration)
         env.commit(batch, shard_id, start, duration, report, finish)
         self._note_degraded(batch, start, duration, finish)

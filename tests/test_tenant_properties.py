@@ -28,7 +28,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.serving import (
     BatchScheduler,
+    InferenceRequest,
     OpenLoopArrivals,
+    RequestTrace,
     ServingController,
     ShardedServiceCluster,
     SLOPolicy,
@@ -36,6 +38,7 @@ from repro.serving import (
     TraceArrivals,
     merge_traces,
 )
+from repro.serving.control import MAX_BURST_TOKENS
 
 
 def _serve(services, trace, slo, name="CPU", num_shards=2, scheduler=None,
@@ -284,6 +287,40 @@ def test_rate_limit_sheds_above_cap_even_when_idle(services):
     assert stats.shed == pytest.approx(0.75 * stats.offered, rel=0.25)
     reasons = {d.reason for d in report.decisions if not d.admitted}
     assert reasons == {"rate-limit"}
+
+
+def test_idle_gap_burst_credit_is_clamped(services):
+    """A long-idle high-guarantee tenant cannot flood an unbounded burst.
+
+    Regression: ``guaranteed_rps * burst_seconds`` used to be the bucket
+    capacity verbatim, so a tenant with ``guaranteed_rps=500`` returning
+    from an idle stretch held 500 instantaneous admissions — an arbitrarily
+    large same-instant flood past every co-tenant.  Capacity (and the
+    post-idle refill) is now clamped to ``MAX_BURST_TOKENS``.
+    """
+    profile = make_profile()
+    rate = 500.0
+    trace = RequestTrace(
+        # One request to open the bucket, a 100-second idle gap (refilling
+        # 50k tokens' worth at the unclamped rate), then a same-instant
+        # 200-request flood.
+        [InferenceRequest(request_id=0, arrival_seconds=0.0, workload=profile,
+                          tenant="whale")]
+        + [
+            InferenceRequest(request_id=1 + i, arrival_seconds=100.0,
+                             workload=profile, tenant="whale")
+            for i in range(200)
+        ]
+    )
+    slo = SLOPolicy(
+        default_slo_seconds=1e-6,  # only the guaranteed tier can admit
+        per_tenant={"whale": TenantQuota(guaranteed_rps=rate)},
+    )
+    report = _serve(services, trace, slo)
+    stats = report.tenant_stats["whale"]
+    # The opener plus a full (clamped) bucket at the flood instant.
+    assert stats.served == MAX_BURST_TOKENS + 1
+    assert stats.shed == 200 - MAX_BURST_TOKENS
 
 
 # -------------------------------------------------- batching-aware admission
