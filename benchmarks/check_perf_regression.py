@@ -1,6 +1,6 @@
 """Benchmark-regression gates for the fast paths.
 
-Three committed-vs-fresh comparisons:
+Committed-vs-fresh comparisons:
 
 * **Preprocessing** — reads the committed ``BENCH_perf_preprocessing.json``,
   runs a fresh ``--quick`` pass of ``benchmarks/bench_perf_preprocessing.py``,
@@ -20,6 +20,12 @@ Three committed-vs-fresh comparisons:
   and fails when the fresh fault-aware/fault-oblivious goodput ratio drops
   below ``tolerance * committed_ratio`` or the benchmark's own absolute
   gate, or when the stress run's conservation invariant breaks.
+* **Failure domains** — reads the committed ``BENCH_failure_domains.json``,
+  runs a fresh ``--quick`` pass of ``benchmarks/bench_failure_domains.py``,
+  and fails when the fresh domain-aware/domain-oblivious goodput ratio under
+  chained rack outages drops below ``tolerance * committed_ratio`` or the
+  benchmark's own absolute gate, when the correlated-fault stress run breaks
+  conservation, or when it stops observing whole-rack outages.
 * **Graceful degradation** — reads the committed
   ``BENCH_graceful_degradation.json``, runs a fresh ``--quick`` pass of
   ``benchmarks/bench_graceful_degradation.py``, and fails when the fresh
@@ -59,6 +65,7 @@ for path in (str(_SRC), str(REPO_ROOT / "benchmarks")):
 
 import bench_elastic_scaling
 import bench_engine_speed
+import bench_failure_domains
 import bench_fault_tolerance
 import bench_graceful_degradation
 import bench_perf_preprocessing
@@ -195,6 +202,46 @@ def _check_fault_tolerance(args) -> List[str]:
     return failures
 
 
+def _check_failure_domains(args) -> List[str]:
+    if not args.failure_domain_baseline.exists():
+        return [
+            f"failure-domains: committed baseline {args.failure_domain_baseline} "
+            "is missing — regenerate with "
+            "`python benchmarks/bench_failure_domains.py` and commit it"
+        ]
+    committed = json.loads(args.failure_domain_baseline.read_text())
+
+    print("\nrunning fresh --quick failure-domain benchmark...\n")
+    fresh = bench_failure_domains.run(quick=True)
+
+    failures: List[str] = []
+    floor = max(
+        args.tolerance * committed["goodput_ratio"], fresh["min_goodput_ratio"]
+    )
+    verdict = "ok" if fresh["goodput_ratio"] >= floor else "REGRESSION"
+    print(
+        f"placement: committed {committed['goodput_ratio']:6.2f}x | "
+        f"fresh {fresh['goodput_ratio']:6.2f}x | floor {floor:6.2f}x | {verdict}"
+    )
+    if fresh["goodput_ratio"] < floor:
+        failures.append(
+            f"failure-domains: fresh domain-aware/oblivious goodput ratio "
+            f"{fresh['goodput_ratio']:.2f}x below floor {floor:.2f}x "
+            f"(committed {committed['goodput_ratio']:.2f}x, tolerance {args.tolerance})"
+        )
+    if not fresh["stress"]["conserved"]:
+        failures.append(
+            "failure-domains: correlated-fault stress run broke conservation "
+            "(offered != served + shed + failed)"
+        )
+    if fresh["stress"]["domain_outages"] <= 0:
+        failures.append(
+            "failure-domains: correlated-fault stress run observed no whole-rack "
+            "outages (correlated generator quietly disabled?)"
+        )
+    return failures
+
+
 def _check_graceful_degradation(args) -> List[str]:
     if not args.degradation_baseline.exists():
         return [
@@ -296,6 +343,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="committed fault-tolerance benchmark JSON to compare against",
     )
     parser.add_argument(
+        "--failure-domain-baseline",
+        type=Path,
+        default=bench_failure_domains.RESULT_PATH,
+        help="committed failure-domain benchmark JSON to compare against",
+    )
+    parser.add_argument(
         "--degradation-baseline",
         type=Path,
         default=bench_graceful_degradation.RESULT_PATH,
@@ -330,6 +383,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = _check_preprocessing(args)
     failures += _check_engine(args)
     failures += _check_fault_tolerance(args)
+    failures += _check_failure_domains(args)
     failures += _check_graceful_degradation(args)
     failures += _check_elastic_scaling(args)
 

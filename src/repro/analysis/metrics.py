@@ -499,6 +499,16 @@ class TenantStats:
             return 0.0
         return self.slo_met / self.served
 
+    def slo_weighted_goodput(self, degraded_utility: float) -> float:
+        """SLO-met completions weighted by degraded-tier utility.
+
+        A full-quality SLO-met completion counts 1, a degraded one
+        ``degraded_utility`` — the per-tenant analogue of
+        :meth:`GoodputStats.slo_weighted_goodput_rps` (a count, not a rate:
+        tenants share the run's makespan, so callers divide once).
+        """
+        return self.slo_met_full + degraded_utility * self.slo_met_degraded
+
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary of the per-tenant accounting (for JSON reports)."""
         return {

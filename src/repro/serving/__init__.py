@@ -36,6 +36,19 @@ traffic regime:
   *voluntary* drains (:class:`DrainPlanner`): an autoscaler scale-down
   with ``drain=True`` migrates queued work to surviving shards instead of
   stranding it on the deactivated shard.
+* :mod:`repro.serving.topology` — :class:`ClusterTopology`, the mapping
+  from shards to correlated failure domains (racks, zones).  Domain-level
+  fault events (``crash_domain`` / ``recover_domain``) expand against it,
+  :class:`RandomFaults` can draw seeded whole-domain outages from a
+  :class:`CorrelatedFaults` profile, and dispatch / autoscaler activation /
+  drain re-pick become domain-aware (``placement="spread"`` round-robins
+  activation across domains).
+* :mod:`repro.serving.chaos` — the chaos-sweep invariant harness: seeded
+  scenario schedules (whole-domain outages racing autoscaler drains, retry
+  storms, recover-at-the-same-instant edges) replayed through both engines,
+  asserting request conservation, engine byte-identity, no dispatch onto
+  dead or deactivated shards, retry-budget compliance and lease accounting
+  on every run (``python -m repro.serving.chaos``).
 * :mod:`repro.serving.engine` — the fast serving engine behind
   ``ShardedServiceCluster(engine="fast")`` (the default): serve-transition
   caching, array-level batch formation, shard/deadline heaps and streaming
@@ -72,11 +85,23 @@ from repro.serving.cluster import (
     ShedRecord,
     build_reference_clusters,
 )
+from repro.serving.topology import (
+    PLACEMENT_DENSE,
+    PLACEMENT_SPREAD,
+    PLACEMENTS,
+    ClusterTopology,
+)
 from repro.serving.faults import (
+    DOMAIN_FAULT_KINDS,
     FAULT_CRASH,
+    FAULT_CRASH_DOMAIN,
     FAULT_KINDS,
     FAULT_RECOVER,
+    FAULT_RECOVER_DOMAIN,
     FAULT_SLOWDOWN,
+    CorrelatedFaults,
+    DomainFaultEvent,
+    DomainOutageStats,
     DrainPlanner,
     FaultEvent,
     FaultSchedule,
@@ -94,6 +119,14 @@ from repro.serving.control import (
     TenantQuota,
 )
 from repro.serving.config import ServingConfig
+from repro.serving.chaos import (
+    INVARIANTS,
+    ChaosInvariantError,
+    ChaosScenario,
+    chaos_scenarios,
+    run_chaos_sweep,
+    run_scenario,
+)
 from repro.system.workload import QUALITY_DEGRADED, QUALITY_FULL, QUALITY_TIERS
 
 __all__ = [
@@ -125,15 +158,25 @@ __all__ = [
     "POLICY_ROUND_ROBIN",
     "POLICY_LEAST_LOADED",
     "POLICY_LOCALITY",
+    "ClusterTopology",
+    "PLACEMENTS",
+    "PLACEMENT_DENSE",
+    "PLACEMENT_SPREAD",
     "DrainPlanner",
     "FaultEvent",
+    "DomainFaultEvent",
+    "CorrelatedFaults",
     "FaultSchedule",
     "FaultStats",
+    "DomainOutageStats",
     "RandomFaults",
     "FAULT_CRASH",
     "FAULT_RECOVER",
     "FAULT_SLOWDOWN",
     "FAULT_KINDS",
+    "FAULT_CRASH_DOMAIN",
+    "FAULT_RECOVER_DOMAIN",
+    "DOMAIN_FAULT_KINDS",
     "SLOPolicy",
     "AdmissionController",
     "AdmissionDecision",
@@ -145,4 +188,10 @@ __all__ = [
     "QUALITY_FULL",
     "QUALITY_DEGRADED",
     "QUALITY_TIERS",
+    "INVARIANTS",
+    "ChaosInvariantError",
+    "ChaosScenario",
+    "chaos_scenarios",
+    "run_chaos_sweep",
+    "run_scenario",
 ]

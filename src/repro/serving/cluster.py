@@ -51,6 +51,7 @@ if TYPE_CHECKING:  # control.py only imports repro.system.workload — no cycle,
         AdmissionController,
         AdmissionDecision,
         Autoscaler,
+        DegradationPolicy,
         ScalingEvent,
         SLOPolicy,
     )
@@ -63,6 +64,7 @@ from repro.serving.faults import (
 )
 from repro.serving.requests import InferenceRequest, RequestTrace
 from repro.serving.scheduler import BatchScheduler, RequestBatch
+from repro.serving.topology import PLACEMENT_SPREAD, PLACEMENTS, ClusterTopology
 from repro.system.service import GNNService, ServiceReport, build_services
 from repro.system.workload import QUALITY_DEGRADED, WorkloadProfile
 
@@ -410,6 +412,31 @@ class ClusterReport:
             for tenant in sorted(set(served_count) | set(shed_count))
         }
 
+    def tenant_weighted_goodput(
+        self, degradation: "DegradationPolicy"
+    ) -> Dict[str, float]:
+        """Per-tenant SLO-weighted goodput (rps) under ``degradation``.
+
+        Each tenant's degraded completions are valued at
+        :meth:`DegradationPolicy.utility_for` of its quota — so a tenant
+        whose :attr:`~repro.serving.control.TenantQuota.degraded_utility`
+        floor exceeds the policy-wide knob is scored at its floor.  Runs
+        without an SLO policy fall back to the policy-wide utility for every
+        tenant.
+        """
+        makespan = self.makespan_seconds
+        if makespan <= 0:
+            return {tenant: 0.0 for tenant in self.tenant_stats}
+        return {
+            tenant: stats.slo_weighted_goodput(
+                degradation.utility_for(
+                    self.slo.quota_for(tenant) if self.slo is not None else None
+                )
+            )
+            / makespan
+            for tenant, stats in self.tenant_stats.items()
+        }
+
     @property
     def provisioned_shard_seconds(self) -> float:
         """Shard-seconds of provisioned capacity the run consumed.
@@ -637,6 +664,18 @@ class ShardedServiceCluster:
             :mod:`repro.serving.engine`; ``"reference"`` runs the plain
             per-request-object loops in this module.  Outputs are
             byte-identical; only wall-clock differs.
+        topology: optional :class:`~repro.serving.topology.ClusterTopology`
+            mapping shards to failure domains.  With one, placement becomes
+            domain-aware: the autoscaler's active set follows the
+            topology's activation order, locality dispatch hashes to a
+            *domain* before a member shard, and fault-time standby
+            substitution prefers shards in healthy domains.  ``None``
+            (default) keeps the historical shard-index ordering exactly.
+        placement: activation-order policy over the topology —
+            ``"spread"`` (default) round-robins activation across domains
+            so any active prefix spans the maximum number of failure
+            domains; ``"dense"`` fills domains in shard-index order (the
+            domain-oblivious baseline).  Ignored without a topology.
     """
 
     def __init__(
@@ -648,6 +687,8 @@ class ShardedServiceCluster:
         locality_spill_seconds: float = float("inf"),
         rebalance_seconds: Optional[float] = None,
         engine: str = ENGINE_FAST,
+        topology: Optional[ClusterTopology] = None,
+        placement: str = PLACEMENT_SPREAD,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -670,11 +711,35 @@ class ShardedServiceCluster:
         self.locality_spill_seconds = locality_spill_seconds
         self.rebalance_seconds = rebalance_seconds
         self.engine = engine
+        self._set_topology(topology, placement)
         self._reset_dispatch_state()
         # Serve-transition cache shared by every fast-engine run on this
         # cluster: the shards are replicas of one template, so a transition
         # observed on one shard replays soundly on any other.
         self._serve_cache: Dict[tuple, tuple] = {}
+
+    def _set_topology(
+        self, topology: Optional[ClusterTopology], placement: str
+    ) -> None:
+        """Install a failure-domain topology and its activation order.
+
+        ``topology=None`` leaves every dispatch/scaling path on the
+        historical shard-index ordering (``self._order is None``), which is
+        what keeps domain-unaware runs byte-identical to earlier releases.
+        """
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
+            )
+        if topology is not None:
+            topology.validate_for(self.num_shards)
+            order: Optional[tuple] = topology.activation_order(placement)
+        else:
+            order = None
+        self.topology = topology
+        self.placement = placement
+        #: Activation order under the topology (None = identity/range order).
+        self._order = order
 
     def _reset_dispatch_state(self) -> None:
         """Reset per-run dispatch memory (round-robin cursor, shard keys).
@@ -731,7 +796,10 @@ class ShardedServiceCluster:
             if configured:
                 preferred = min(configured, key=lambda i: (busy_until[i], i))
             else:
-                preferred = active[_home_shard(batch, len(active))]
+                if self._order is not None:
+                    preferred = self._domain_home(batch, active)
+                else:
+                    preferred = active[_home_shard(batch, len(active))]
                 if self.rebalance_seconds is not None:
                     preferred = self._rebalance(batch, busy_until, active, preferred)
             backlog = busy_until[preferred] - batch.ready_seconds
@@ -740,6 +808,26 @@ class ShardedServiceCluster:
                 self._shard_key[chosen] = (batch.key, batch.ready_seconds)
             return chosen
         return least_loaded
+
+    def _domain_home(self, batch: RequestBatch, active: Sequence[int]) -> int:
+        """Domain-spread home shard for the locality hash fallback.
+
+        The workload key hashes to a *failure domain* first and to a member
+        shard second, so the keys' home shards spread across domains instead
+        of clustering wherever the flat hash lands — a rack outage then takes
+        out a 1/num_domains slice of the key space rather than an arbitrary
+        one.  Domains with no currently-active member are probed past in
+        declaration order (their keys spill to the next domain over).
+        """
+        digest = zlib.crc32(repr(batch.key).encode("utf-8"))
+        names = self.topology.domain_names
+        start = digest % len(names)
+        for offset in range(len(names)):
+            name = names[(start + offset) % len(names)]
+            members = [i for i in active if self.topology.domain_of(i) == name]
+            if members:
+                return members[(digest // len(names)) % len(members)]
+        return active[_home_shard(batch, len(active))]
 
     def _rebalance(
         self,
@@ -847,8 +935,12 @@ class ShardedServiceCluster:
             if on_commit is not None:
                 on_commit(batch, finish)
 
+        order = self._order
         return FaultLoopHooks(
             active_count=active_count,
+            active_ids=(
+                (lambda: order[: active_count()]) if order is not None else None
+            ),
             busy=lambda shard_id: state.busy_until[shard_id],
             set_busy=set_busy,
             add_busy=add_busy,
@@ -872,6 +964,9 @@ class ShardedServiceCluster:
         """
         engine = self.engine
         scheduler = self.scheduler
+        topology = self.topology
+        placement = self.placement
+        order = self._order
         try:
             if config.engine is not None:
                 self.engine = config.engine
@@ -881,10 +976,18 @@ class ShardedServiceCluster:
                     max_wait_seconds=scheduler.max_wait_seconds,
                     tenant_weights=dict(config.tenant_weights),
                 )
+            if config.topology is not None or config.placement is not None:
+                self._set_topology(
+                    config.topology if config.topology is not None else topology,
+                    config.placement if config.placement is not None else placement,
+                )
             yield
         finally:
             self.engine = engine
             self.scheduler = scheduler
+            self.topology = topology
+            self.placement = placement
+            self._order = order
 
     # --------------------------------------------------------------- serving
     def serve_trace(
@@ -942,11 +1045,13 @@ class ShardedServiceCluster:
         state = _LoopState(self.num_shards)
         fault_stats: Optional[FaultStats] = None
         if faults is None:
-            active = range(self.num_shards)
+            active = self._order if self._order is not None else range(self.num_shards)
             for batch in batches:
                 self._dispatch(batch, state, active)
         else:
-            ctx = faults.runtime(self.num_shards, slo)
+            ctx = faults.runtime(
+                self.num_shards, slo, order=self._order, topology=self.topology
+            )
             env = self._fault_hooks(state, lambda: self.num_shards)
             for batch in batches:
                 ctx.step(env, batch)
@@ -1095,7 +1200,13 @@ class ShardedServiceCluster:
                 if quota.guaranteed_rps > 0
             )
         guaranteed_open = 0
-        ctx = faults.runtime(self.num_shards, slo) if faults is not None else None
+        ctx = (
+            faults.runtime(
+                self.num_shards, slo, order=self._order, topology=self.topology
+            )
+            if faults is not None
+            else None
+        )
         planner = (
             DrainPlanner(self.num_shards)
             if autoscaler is not None and autoscaler.drain
@@ -1103,10 +1214,16 @@ class ShardedServiceCluster:
         )
         if ctx is not None and planner is not None:
             ctx.attach_planner(planner)
+        order = self._order
+
+        def active_ids() -> Sequence[int]:
+            """The active shard set in activation order (identity w/o topology)."""
+            return order[:active_count] if order is not None else range(active_count)
+
         leases: Optional[ShardLeaseTracker] = None
         if autoscaler is not None:
             leases = ShardLeaseTracker(self.num_shards)
-            for shard_id in range(active_count):
+            for shard_id in active_ids():
                 leases.open(shard_id, start_seconds)
 
         def dispatch_batch(batch: RequestBatch) -> None:
@@ -1121,7 +1238,7 @@ class ShardedServiceCluster:
             if planner is not None:
                 planner.dispatch(batch, env)
                 return
-            finish = self._dispatch(batch, state, range(active_count))
+            finish = self._dispatch(batch, state, active_ids())
             for request in batch.requests:
                 pending_estimates.pop(request.request_id, None)
                 heapq.heappush(inflight, finish)
@@ -1260,7 +1377,12 @@ class ShardedServiceCluster:
                     )
                 else:
                     active_count = autoscaler.observe(now, queue_depth)
-                for shard_id in range(previous, active_count):
+                joining = (
+                    order[previous:active_count]
+                    if order is not None
+                    else range(previous, active_count)
+                )
+                for shard_id in joining:
                     warmup = autoscaler.warmup_seconds
                     if warmup is None:
                         warmup = self.shards[shard_id].warmup_seconds
@@ -1283,7 +1405,11 @@ class ShardedServiceCluster:
                                 if shard_id not in surviving
                             ]
                         else:
-                            leaving = list(range(active_count, previous))
+                            leaving = (
+                                list(order[active_count:previous])
+                                if order is not None
+                                else list(range(active_count, previous))
+                            )
                         drained, completed = planner.drain(leaving, now, env)
                         migrated = 0
                         for stranded in drained:
@@ -1298,7 +1424,12 @@ class ShardedServiceCluster:
                         autoscaler.record_drain(migrated, completed)
                     # Leases close after the drain so a drained shard is
                     # billed to its lowered (post-migration) horizon.
-                    for shard_id in range(active_count, previous):
+                    departing = (
+                        order[active_count:previous]
+                        if order is not None
+                        else range(active_count, previous)
+                    )
+                    for shard_id in departing:
                         leases.close(
                             shard_id, max(now, state.busy_until[shard_id])
                         )
@@ -1319,7 +1450,7 @@ class ShardedServiceCluster:
                         backlog = float("inf")
                 else:
                     backlog = min(
-                        max(state.busy_until[i] - now, 0.0) for i in range(active_count)
+                        max(state.busy_until[i] - now, 0.0) for i in active_ids()
                     ) + sum(pending_estimates.values()) / active_count
                 if fair:
                     # A request the fair batcher would spill pays a full
@@ -1339,7 +1470,9 @@ class ShardedServiceCluster:
                 # against *its own* open batch (degraded requests batch under
                 # their own key) so the controller can admit it degraded when
                 # the full-quality prediction violates the SLO.
-                degraded_workload = admission.degraded_profile(request.workload)
+                degraded_workload = admission.degraded_profile(
+                    request.workload, request.tenant
+                )
                 degraded_estimate = None
                 degraded_request = None
                 if degraded_workload is not None:

@@ -43,6 +43,7 @@ from repro.serving.control import (
     SLOPolicy,
 )
 from repro.serving.faults import FaultSchedule
+from repro.serving.topology import PLACEMENTS, ClusterTopology
 
 #: Mirror of :data:`repro.serving.cluster.ENGINES` (imported lazily in the
 #: validator to keep the config module import-cycle-free).
@@ -81,6 +82,14 @@ class ServingConfig:
             checks on/off) without rebuilding it; requires ``faults``.
         tenant_weights: weighted-fair batch formation override; replaces
             the scheduler's ``tenant_weights`` for this run.
+        topology: failure-domain topology override
+            (:class:`~repro.serving.topology.ClusterTopology`) for this run;
+            ``None`` keeps the cluster's own topology.  Domain-aware
+            activation order, locality hashing and healthy-domain standby
+            preference all follow the override.
+        placement: activation-order placement override (``"spread"`` /
+            ``"dense"``); ``None`` keeps the cluster's own placement.  Only
+            meaningful when the run has a topology (its own or overridden).
     """
 
     engine: Optional[str] = None
@@ -94,6 +103,8 @@ class ServingConfig:
     faults: Optional[FaultSchedule] = None
     fault_aware: Optional[bool] = None
     tenant_weights: Optional[Mapping[str, float]] = None
+    topology: Optional[ClusterTopology] = None
+    placement: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None and self.engine not in _ENGINES:
@@ -130,6 +141,10 @@ class ServingConfig:
             for tenant, weight in self.tenant_weights.items():
                 if weight <= 0:
                     raise ValueError(f"weight for tenant {tenant!r} must be positive")
+        if self.placement is not None and self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; expected one of {PLACEMENTS}"
+            )
 
     # ------------------------------------------------------------- resolution
     def scoring_slo(self) -> Optional[SLOPolicy]:

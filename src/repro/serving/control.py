@@ -69,6 +69,16 @@ class TenantQuota:
             :data:`MAX_BURST_TOKENS` requests, so a long-silent
             high-guarantee tenant cannot flood an unbounded instantaneous
             burst past its steady ``guaranteed_rps`` on return.
+        no_degrade: a tenant that bought out of the degraded tier — its
+            requests are never admitted at degraded quality (the degraded
+            prediction tier is skipped; the verdict falls through to the
+            excess budget / shed).  Full-quality admission is unaffected.
+        degraded_utility: per-tenant floor on the SLO-weighted value of one
+            degraded completion, in ``[0, 1]``.  Goodput scoring uses
+            ``max(policy.degraded_utility, quota.degraded_utility)`` for the
+            tenant (see :meth:`DegradationPolicy.utility_for`), so a paying
+            tenant's degraded completions are never scored below its floor.
+            ``None`` defers to the policy-wide knob.
     """
 
     guaranteed_rps: float = 0.0
@@ -76,6 +86,8 @@ class TenantQuota:
     slo_seconds: Optional[float] = None
     limit_rps: Optional[float] = None
     burst_seconds: float = 1.0
+    no_degrade: bool = False
+    degraded_utility: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.guaranteed_rps < 0:
@@ -88,6 +100,8 @@ class TenantQuota:
             raise ValueError("limit_rps must be positive")
         if self.burst_seconds <= 0:
             raise ValueError("burst_seconds must be positive")
+        if self.degraded_utility is not None and not 0.0 <= self.degraded_utility <= 1.0:
+            raise ValueError("degraded_utility must be in [0, 1]")
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable form."""
@@ -97,6 +111,8 @@ class TenantQuota:
             "slo_seconds": self.slo_seconds,
             "limit_rps": self.limit_rps,
             "burst_seconds": self.burst_seconds,
+            "no_degrade": self.no_degrade,
+            "degraded_utility": self.degraded_utility,
         }
 
 
@@ -211,6 +227,19 @@ class DegradationPolicy:
             layer_drop=self.layer_drop,
             min_layers=self.min_layers,
         )
+
+    def utility_for(self, quota: Optional[TenantQuota]) -> float:
+        """The effective degraded utility for a tenant under ``quota``.
+
+        A quota's :attr:`TenantQuota.degraded_utility` is a *floor*: the
+        tenant's degraded completions are scored at
+        ``max(policy.degraded_utility, quota.degraded_utility)``, so a
+        per-tenant override can only raise the value of degraded work,
+        never silently discount a paying tenant below the policy-wide knob.
+        """
+        if quota is None or quota.degraded_utility is None:
+            return self.degraded_utility
+        return max(self.degraded_utility, quota.degraded_utility)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable form."""
@@ -335,7 +364,9 @@ class AdmissionController:
     is re-priced at its cheaper :meth:`DegradationPolicy.apply` profile and
     admitted *degraded* when that prediction fits.  The loops pass the
     degraded-profile estimate in (only they see the open batches); the
-    controller owns the tier ordering and the verdict.
+    controller owns the tier ordering and the verdict.  A tenant whose quota
+    sets ``no_degrade`` has bought out of the tier: :meth:`degraded_profile`
+    returns ``None`` for it and :meth:`decide` never admits it degraded.
     """
 
     def __init__(
@@ -357,14 +388,20 @@ class AdmissionController:
         weights = [quota.weight for quota in policy.per_tenant.values()]
         self._total_weight = sum(weights) if weights else 1.0
 
-    def degraded_profile(self, workload: WorkloadProfile) -> Optional[WorkloadProfile]:
-        """The memoized degraded profile of ``workload``.
+    def degraded_profile(
+        self, workload: WorkloadProfile, tenant: Optional[str] = None
+    ) -> Optional[WorkloadProfile]:
+        """The memoized degraded profile of ``workload`` for ``tenant``.
 
-        ``None`` when no degradation policy is configured or when degrading
-        would not change the execution (already at the floor) — the loops
-        then skip the degraded tier entirely for that workload.
+        ``None`` when no degradation policy is configured, when degrading
+        would not change the execution (already at the floor), or when the
+        tenant's quota sets :attr:`TenantQuota.no_degrade` — the loops then
+        skip the degraded tier entirely for that request.  The memo is keyed
+        by workload only; the tenant buy-out is a cheap table lookup.
         """
         if self.degradation is None:
+            return None
+        if tenant is not None and self.policy.quota_for(tenant).no_degrade:
             return None
         if workload not in self._degraded_profiles:
             degraded = self.degradation.apply(workload)
@@ -431,8 +468,10 @@ class AdmissionController:
             admitted, reason = True, "guaranteed"
         elif predicted <= slo:
             admitted, reason = True, "predicted"
-        elif degraded_estimate_seconds is not None and (
-            max(backlog_seconds, 0.0) + max(degraded_estimate_seconds, 0.0) <= slo
+        elif (
+            degraded_estimate_seconds is not None
+            and not quota.no_degrade
+            and max(backlog_seconds, 0.0) + max(degraded_estimate_seconds, 0.0) <= slo
         ):
             predicted = max(backlog_seconds, 0.0) + max(degraded_estimate_seconds, 0.0)
             admitted, reason, degraded_tier = True, "degraded", True

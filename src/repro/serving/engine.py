@@ -284,6 +284,13 @@ def _pick_shard(
         _home_shard,
     )
 
+    if cluster._order is not None:
+        # Domain-aware placement: the active set is an activation-order
+        # slice, not the index prefix the heap shortcuts assume.  Delegate
+        # to the reference picker over the heap's authoritative busy list —
+        # the same call the fault path makes — so both engines pick
+        # identically under any topology.
+        return cluster._pick_shard(batch, heap.busy, cluster._order[:active_count])
     if cluster.policy == POLICY_ROUND_ROBIN:
         shard_id = cluster._rr_next % active_count
         cluster._rr_next += 1
@@ -373,7 +380,9 @@ def serve_trace_fast(
         # expose the loop's state.  Dispatch goes through the *reference*
         # ``_pick_shard`` over the heap's authoritative busy list so both
         # engines pick identically under a fluid (non-prefix) active set.
-        ctx = faults.runtime(num_shards, slo)
+        ctx = faults.runtime(
+            num_shards, slo, order=cluster._order, topology=cluster.topology
+        )
         num_batches = 0
 
         def commit(batch, shard_id, start, duration, report, finish):
@@ -403,8 +412,12 @@ def serve_trace_fast(
         def add_busy(shard_id: int, seconds: float) -> None:
             busy_total[shard_id] += seconds
 
+        order = cluster._order
         env = FaultLoopHooks(
             active_count=lambda: num_shards,
+            active_ids=(
+                (lambda: order[:num_shards]) if order is not None else None
+            ),
             busy=lambda shard_id: heap.busy[shard_id],
             set_busy=heap.update,
             add_busy=add_busy,
@@ -511,7 +524,13 @@ def serve_online_fast(
             if quota.guaranteed_rps > 0
         )
     guaranteed_open = 0
-    ctx = faults.runtime(num_shards, slo) if faults is not None else None
+    ctx = (
+        faults.runtime(
+            num_shards, slo, order=cluster._order, topology=cluster.topology
+        )
+        if faults is not None
+        else None
+    )
     planner = (
         DrainPlanner(num_shards)
         if autoscaler is not None and autoscaler.drain
@@ -519,10 +538,16 @@ def serve_online_fast(
     )
     if ctx is not None and planner is not None:
         ctx.attach_planner(planner)
+    order = cluster._order
+
+    def active_ids():
+        """The active shard set in activation order (identity w/o topology)."""
+        return order[:active_count] if order is not None else range(active_count)
+
     leases: Optional[ShardLeaseTracker] = None
     if autoscaler is not None:
         leases = ShardLeaseTracker(num_shards)
-        for shard_id in range(active_count):
+        for shard_id in active_ids():
             leases.open(shard_id, start_seconds)
 
     def dispatch_batch(batch: RequestBatch) -> None:
@@ -629,6 +654,7 @@ def serve_online_fast(
     env = (
         FaultLoopHooks(
             active_count=lambda: active_count,
+            active_ids=active_ids if order is not None else None,
             busy=lambda shard_id: heap.busy[shard_id],
             set_busy=heap.update,
             add_busy=add_busy,
@@ -742,7 +768,12 @@ def serve_online_fast(
                 )
             else:
                 active_count = autoscaler.observe(now, queue_depth)
-            for shard_id in range(previous, active_count):
+            joining = (
+                order[previous:active_count]
+                if order is not None
+                else range(previous, active_count)
+            )
+            for shard_id in joining:
                 warmup = autoscaler.warmup_seconds
                 if warmup is None:
                     warmup = cluster.shards[shard_id].warmup_seconds
@@ -763,7 +794,11 @@ def serve_online_fast(
                             if shard_id not in surviving
                         ]
                     else:
-                        leaving = list(range(active_count, previous))
+                        leaving = (
+                            list(order[active_count:previous])
+                            if order is not None
+                            else list(range(active_count, previous))
+                        )
                     drained, completed = planner.drain(leaving, now, env)
                     migrated = 0
                     for stranded in drained:
@@ -778,7 +813,12 @@ def serve_online_fast(
                     autoscaler.record_drain(migrated, completed)
                 # Leases close after the drain so a drained shard is
                 # billed to its lowered (post-migration) horizon.
-                for shard_id in range(active_count, previous):
+                departing = (
+                    order[active_count:previous]
+                    if order is not None
+                    else range(active_count, previous)
+                )
+                for shard_id in departing:
                     leases.close(shard_id, max(now, heap.busy[shard_id]))
         if admission is not None:
             # Same prediction as the reference loop: least-loaded active
@@ -795,6 +835,13 @@ def serve_online_fast(
                     ) + sum(pending_estimates.values()) / len(alive)
                 else:
                     backlog = float("inf")
+            elif order is not None:
+                # Non-prefix active set: the heap's prefix shortcut does not
+                # apply; reduce over the order slice exactly like the
+                # reference loop (value-identical floats either way).
+                backlog = min(
+                    max(heap.busy[i] - now, 0.0) for i in active_ids()
+                ) + sum(pending_estimates.values()) / active_count
             else:
                 backlog = max(heap.min_busy(active_count) - now, 0.0) + sum(
                     pending_estimates.values()
@@ -814,7 +861,9 @@ def serve_online_fast(
             # against *its own* open batch (degraded requests batch under
             # their own key) so the controller can admit it degraded when
             # the full-quality prediction violates the SLO.
-            degraded_workload = admission.degraded_profile(request.workload)
+            degraded_workload = admission.degraded_profile(
+                request.workload, request.tenant
+            )
             degraded_estimate = None
             degraded_request = None
             if degraded_workload is not None:

@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.serving.requests import InferenceRequest
 from repro.serving.scheduler import RequestBatch
+from repro.serving.topology import ClusterTopology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.serving.control import SLOPolicy
@@ -65,6 +66,12 @@ FAULT_SLOWDOWN = "slowdown"
 
 #: The recognised fault event kinds.
 FAULT_KINDS = (FAULT_CRASH, FAULT_RECOVER, FAULT_SLOWDOWN)
+
+FAULT_CRASH_DOMAIN = "crash_domain"
+FAULT_RECOVER_DOMAIN = "recover_domain"
+
+#: The recognised domain-level fault event kinds.
+DOMAIN_FAULT_KINDS = (FAULT_CRASH_DOMAIN, FAULT_RECOVER_DOMAIN)
 
 
 def due(when: Optional[float], *others: Optional[float]) -> bool:
@@ -109,6 +116,37 @@ class FaultEvent:
 
 
 @dataclass(frozen=True)
+class DomainFaultEvent:
+    """One timestamped fault event taking a whole failure domain down or up.
+
+    Domain events are *macros*: :class:`FaultSchedule` expands each into one
+    per-shard :class:`FaultEvent` per member of the domain at the same
+    instant, and the expanded stream is sorted by ``(seconds, shard_id)`` —
+    order-stable tie-breaking, so two domains failing at the same moment
+    apply in a deterministic shard order in both engines.
+    """
+
+    seconds: float
+    domain: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in DOMAIN_FAULT_KINDS:
+            raise ValueError(
+                f"unknown domain fault kind {self.kind!r}; expected one of {DOMAIN_FAULT_KINDS}"
+            )
+        if not math.isfinite(self.seconds) or self.seconds < 0:
+            raise ValueError(
+                f"domain fault event time must be finite and >= 0, got {self.seconds!r}"
+            )
+        if not isinstance(self.domain, str) or not self.domain:
+            raise ValueError(f"domain must be a non-empty string, got {self.domain!r}")
+
+    def as_dict(self) -> dict:
+        return {"seconds": self.seconds, "domain": self.domain, "kind": self.kind}
+
+
+@dataclass(frozen=True)
 class FaultSchedule:
     """A deterministic, validated sequence of fault events plus retry policy.
 
@@ -117,16 +155,52 @@ class FaultSchedule:
     recover requires it down, a slowdown requires it up — and two events
     may not target the same shard at the same instant (the outcome would
     be order-dependent).
+
+    ``domain_events`` (which require a ``topology``) are correlated-outage
+    macros: each ``crash_domain`` / ``recover_domain`` expands to one
+    per-shard event per member of the domain at the same instant.  The
+    expanded stream — merged with the independent ``events`` and sorted by
+    ``(seconds, shard_id)`` for order-stable tie-breaking — is what the
+    runtime consumes (:attr:`expanded_events`) and what the alternation
+    validation runs over, so an independent event colliding with a domain
+    outage is rejected up front rather than applied in ambiguous order.
     """
 
-    events: Tuple[FaultEvent, ...]
+    events: Tuple[FaultEvent, ...] = ()
     retry_budget: int = 3
     retry_backoff_seconds: float = 0.05
     fault_aware: bool = True
+    domain_events: Tuple[DomainFaultEvent, ...] = ()
+    topology: Optional[ClusterTopology] = None
 
     def __post_init__(self) -> None:
-        ordered = tuple(sorted(self.events, key=lambda e: (e.seconds, e.shard_id)))
-        object.__setattr__(self, "events", ordered)
+        ordered_independent = tuple(
+            sorted(self.events, key=lambda e: (e.seconds, e.shard_id))
+        )
+        object.__setattr__(self, "events", ordered_independent)
+        domain_ordered = tuple(
+            sorted(self.domain_events, key=lambda e: (e.seconds, e.domain))
+        )
+        object.__setattr__(self, "domain_events", domain_ordered)
+        expanded: List[FaultEvent] = list(ordered_independent)
+        if domain_ordered:
+            if self.topology is None:
+                raise ValueError(
+                    "domain_events require a topology mapping shards to domains"
+                )
+            for domain_event in domain_ordered:
+                kind = (
+                    FAULT_CRASH
+                    if domain_event.kind == FAULT_CRASH_DOMAIN
+                    else FAULT_RECOVER
+                )
+                for shard_id in self.topology.shards_in(domain_event.domain):
+                    expanded.append(FaultEvent(domain_event.seconds, shard_id, kind))
+            expanded.sort(key=lambda e: (e.seconds, e.shard_id))
+        ordered = tuple(expanded)
+        # Kept off the dataclass fields so dataclasses.replace() re-expands
+        # from (events, domain_events) instead of double-applying the macros.
+        object.__setattr__(self, "_expanded", ordered)
         if self.retry_budget < 0:
             raise ValueError(f"retry_budget must be >= 0, got {self.retry_budget}")
         if self.retry_backoff_seconds <= 0:
@@ -154,9 +228,17 @@ class FaultSchedule:
             elif down.get(shard, False):
                 raise ValueError(f"shard {shard} slows down at t={event.seconds!r} while down")
 
+    @property
+    def expanded_events(self) -> Tuple[FaultEvent, ...]:
+        """Independent events merged with the expanded domain macros, sorted
+        by ``(seconds, shard_id)`` — the stream the runtime consumes."""
+        return self._expanded  # type: ignore[attr-defined]
+
     def validate_for(self, num_shards: int) -> None:
         """Raise unless every event targets a shard the cluster actually has."""
-        for event in self.events:
+        if self.topology is not None:
+            self.topology.validate_for(num_shards)
+        for event in self.expanded_events:
             if event.shard_id >= num_shards:
                 raise ValueError(
                     f"fault event targets shard {event.shard_id} but the cluster "
@@ -166,15 +248,58 @@ class FaultSchedule:
     def as_dict(self) -> dict:
         return {
             "events": [event.as_dict() for event in self.events],
+            "domain_events": [event.as_dict() for event in self.domain_events],
+            "topology": self.topology.as_dict() if self.topology is not None else None,
             "retry_budget": self.retry_budget,
             "retry_backoff_seconds": self.retry_backoff_seconds,
             "fault_aware": self.fault_aware,
         }
 
-    def runtime(self, num_shards: int, slo: Optional["SLOPolicy"] = None) -> "FaultRuntime":
-        """Build the per-run mutable state for a cluster of ``num_shards``."""
+    def runtime(
+        self,
+        num_shards: int,
+        slo: Optional["SLOPolicy"] = None,
+        *,
+        order: Optional[Sequence[int]] = None,
+        topology: Optional[ClusterTopology] = None,
+    ) -> "FaultRuntime":
+        """Build the per-run mutable state for a cluster of ``num_shards``.
+
+        ``order`` is the cluster's activation order (domain-spread placement);
+        ``topology`` enables healthy-domain-first standby substitution and
+        defaults to the schedule's own topology.
+        """
         self.validate_for(num_shards)
-        return FaultRuntime(self, num_shards, slo)
+        return FaultRuntime(self, num_shards, slo, order=order, topology=topology)
+
+
+@dataclass(frozen=True)
+class CorrelatedFaults:
+    """Whole-domain outage process for :class:`RandomFaults(correlated=...)`.
+
+    Each failure domain alternates exponentially distributed up and down
+    periods — a rack power loss takes every member shard down at once —
+    drawn from a *separate* seeded stream so enabling correlation leaves
+    the independent per-shard fault stream bit-identical.
+    """
+
+    mean_uptime_seconds: float
+    mean_downtime_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.mean_uptime_seconds <= 0 or self.mean_downtime_seconds <= 0:
+            raise ValueError("correlated mean uptime/downtime must be > 0")
+
+    def as_dict(self) -> dict:
+        return {
+            "mean_uptime_seconds": self.mean_uptime_seconds,
+            "mean_downtime_seconds": self.mean_downtime_seconds,
+        }
+
+
+#: Stream key mixed with the seed for the domain-outage rng so correlated
+#: outages never perturb the independent per-shard stream.
+_DOMAIN_STREAM = 0xD0
 
 
 @dataclass(frozen=True)
@@ -187,6 +312,13 @@ class RandomFaults:
     so no shard stays dead forever.  With probability
     ``slowdown_probability`` an up period also degrades to
     ``slowdown_factor`` at a uniform point before its crash.
+
+    With ``correlated=`` (requires ``topology=``) whole failure domains
+    additionally fail together: domain outages come from a second seeded
+    stream, and independent shard outage cycles or slowdowns that would
+    collide with a domain outage of the shard's own domain are dropped
+    *without* consuming extra randomness — the surviving independent
+    events are identical to the uncorrelated run's.
     """
 
     num_shards: int
@@ -198,6 +330,8 @@ class RandomFaults:
     retry_budget: int = 3
     retry_backoff_seconds: float = 0.05
     seed: int = 0
+    topology: Optional[ClusterTopology] = None
+    correlated: Optional[CorrelatedFaults] = None
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -212,9 +346,42 @@ class RandomFaults:
             )
         if self.slowdown_factor < 1.0:
             raise ValueError(f"slowdown_factor must be >= 1.0, got {self.slowdown_factor!r}")
+        if self.correlated is not None and self.topology is None:
+            raise ValueError("correlated faults require a topology")
+        if self.topology is not None:
+            self.topology.validate_for(self.num_shards)
 
     def schedule(self) -> FaultSchedule:
         """Generate the deterministic schedule for this configuration."""
+        domain_events: List[DomainFaultEvent] = []
+        blocked: List[List[Tuple[float, float]]] = [[] for _ in range(self.num_shards)]
+        if self.correlated is not None:
+            domain_rng = np.random.default_rng((self.seed, _DOMAIN_STREAM))
+            for name in self.topology.domain_names:
+                crash_at = float(
+                    domain_rng.exponential(self.correlated.mean_uptime_seconds)
+                )
+                while crash_at < self.horizon_seconds:
+                    recover_at = crash_at + float(
+                        domain_rng.exponential(self.correlated.mean_downtime_seconds)
+                    )
+                    domain_events.append(
+                        DomainFaultEvent(crash_at, name, FAULT_CRASH_DOMAIN)
+                    )
+                    domain_events.append(
+                        DomainFaultEvent(recover_at, name, FAULT_RECOVER_DOMAIN)
+                    )
+                    for shard_id in self.topology.shards_in(name):
+                        blocked[shard_id].append((crash_at, recover_at))
+                    crash_at = recover_at + float(
+                        domain_rng.exponential(self.correlated.mean_uptime_seconds)
+                    )
+
+        def collides(shard_id: int, lo: float, hi: float) -> bool:
+            # Closed-interval overlap: touching a domain outage boundary is a
+            # same-instant same-shard conflict once the macro expands.
+            return any(lo <= b_hi and b_lo <= hi for b_lo, b_hi in blocked[shard_id])
+
         rng = np.random.default_rng(self.seed)
         events: List[FaultEvent] = []
         for shard_id in range(self.num_shards):
@@ -223,20 +390,85 @@ class RandomFaults:
             while crash_at < self.horizon_seconds:
                 if self.slowdown_probability > 0.0 and rng.random() < self.slowdown_probability:
                     slow_at = up_start + float(rng.uniform(0.0, crash_at - up_start))
-                    if up_start < slow_at < crash_at:
+                    if up_start < slow_at < crash_at and not collides(
+                        shard_id, slow_at, slow_at
+                    ):
                         events.append(
                             FaultEvent(slow_at, shard_id, FAULT_SLOWDOWN, self.slowdown_factor)
                         )
-                events.append(FaultEvent(crash_at, shard_id, FAULT_CRASH))
                 recover_at = crash_at + float(rng.exponential(self.mean_downtime_seconds))
-                events.append(FaultEvent(recover_at, shard_id, FAULT_RECOVER))
+                if not collides(shard_id, crash_at, recover_at):
+                    events.append(FaultEvent(crash_at, shard_id, FAULT_CRASH))
+                    events.append(FaultEvent(recover_at, shard_id, FAULT_RECOVER))
                 up_start = recover_at
                 crash_at = recover_at + float(rng.exponential(self.mean_uptime_seconds))
         return FaultSchedule(
             events=tuple(events),
             retry_budget=self.retry_budget,
             retry_backoff_seconds=self.retry_backoff_seconds,
+            domain_events=tuple(domain_events),
+            topology=self.topology,
         )
+
+    def provenance(self) -> dict:
+        """Every generation parameter, JSON-friendly — enough to rebuild this
+        exact schedule from a bench artifact or chaos failure dump alone."""
+        return {
+            "generator": "RandomFaults",
+            "seed": self.seed,
+            "num_shards": self.num_shards,
+            "horizon_seconds": self.horizon_seconds,
+            "mean_uptime_seconds": self.mean_uptime_seconds,
+            "mean_downtime_seconds": self.mean_downtime_seconds,
+            "slowdown_probability": self.slowdown_probability,
+            "slowdown_factor": self.slowdown_factor,
+            "retry_budget": self.retry_budget,
+            "retry_backoff_seconds": self.retry_backoff_seconds,
+            "topology": self.topology.as_dict() if self.topology is not None else None,
+            "correlated": (
+                self.correlated.as_dict() if self.correlated is not None else None
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class DomainOutageStats:
+    """Per-failure-domain outage summary inside :class:`FaultStats`.
+
+    ``windows`` are the whole-domain outage intervals — every member shard
+    dead simultaneously — clipped to the observed run span.
+    """
+
+    domain: str
+    shards: Tuple[int, ...]
+    outages: int
+    outage_seconds: float
+    downtime_seconds: float
+    windows: Tuple[Tuple[float, float], ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "domain": self.domain,
+            "shards": list(self.shards),
+            "outages": self.outages,
+            "outage_seconds": self.outage_seconds,
+            "downtime_seconds": self.downtime_seconds,
+            "windows": [[lo, hi] for lo, hi in self.windows],
+        }
+
+
+@dataclass(frozen=True)
+class DomainOutageEvent:
+    """One row of the per-domain outage timeline.
+
+    Shaped for :func:`repro.analysis.report.format_timeline`: ``seconds`` /
+    ``active_shards`` (alive members of the domain after the transition) /
+    ``reason``.
+    """
+
+    seconds: float
+    active_shards: int
+    reason: str
 
 
 @dataclass(frozen=True)
@@ -250,6 +482,7 @@ class FaultStats:
     degraded_seconds: float
     served_degraded: int
     slo_met_degraded: int
+    domains: Optional[Tuple[DomainOutageStats, ...]] = None
 
     @property
     def degraded_slo_attainment(self) -> float:
@@ -257,6 +490,18 @@ class FaultStats:
         if self.served_degraded == 0:
             return 1.0
         return self.slo_met_degraded / self.served_degraded
+
+    def domain_timeline(self) -> List[DomainOutageEvent]:
+        """Whole-domain outage transitions, ready for ``format_timeline``."""
+        rows: List[DomainOutageEvent] = []
+        for stats in self.domains or ():
+            for lo, hi in stats.windows:
+                rows.append(DomainOutageEvent(lo, 0, f"domain-down:{stats.domain}"))
+                rows.append(
+                    DomainOutageEvent(hi, len(stats.shards), f"domain-up:{stats.domain}")
+                )
+        rows.sort(key=lambda row: (row.seconds, row.reason))
+        return rows
 
     def as_dict(self) -> dict:
         return {
@@ -268,6 +513,11 @@ class FaultStats:
             "served_degraded": self.served_degraded,
             "slo_met_degraded": self.slo_met_degraded,
             "degraded_slo_attainment": self.degraded_slo_attainment,
+            "domains": (
+                [stats.as_dict() for stats in self.domains]
+                if self.domains is not None
+                else None
+            ),
         }
 
 
@@ -291,6 +541,7 @@ class FaultLoopHooks:
         "serve",
         "commit",
         "on_failed",
+        "active_ids",
     )
 
     def __init__(
@@ -305,6 +556,7 @@ class FaultLoopHooks:
         serve: Callable[[int, object], Tuple[object, float]],
         commit: Callable[[RequestBatch, int, float, float, object, float], None],
         on_failed: Callable[[InferenceRequest, float], None],
+        active_ids: Optional[Callable[[], Sequence[int]]] = None,
     ) -> None:
         self.active_count = active_count
         self.busy = busy
@@ -315,6 +567,10 @@ class FaultLoopHooks:
         self.serve = serve
         self.commit = commit
         self.on_failed = on_failed
+        #: Optional explicit active shard ids (the cluster's activation-order
+        #: prefix under domain-spread placement); None keeps the historical
+        #: ``range(active_count())`` prefix.
+        self.active_ids = active_ids
 
 
 class DrainPlanner:
@@ -375,7 +631,10 @@ class DrainPlanner:
         exact same pick/serve/plan sequence when draining without a fault
         schedule.
         """
-        active = range(env.active_count())
+        if env.active_ids is not None:
+            active: Sequence[int] = env.active_ids()
+        else:
+            active = range(env.active_count())
         workload = env.merged(batch)
         shard_id = env.pick(batch, workload, active)
         start = max(batch.ready_seconds, env.busy(shard_id))
@@ -487,13 +746,36 @@ class FaultRuntime:
         schedule: FaultSchedule,
         num_shards: int,
         slo: Optional["SLOPolicy"] = None,
+        *,
+        order: Optional[Sequence[int]] = None,
+        topology: Optional[ClusterTopology] = None,
     ) -> None:
         self.schedule = schedule
         self.num_shards = num_shards
         self.slo = slo
+        #: Activation order under domain-spread placement; None = identity.
+        self.order: Optional[Tuple[int, ...]] = tuple(order) if order is not None else None
+        if self.order is not None and sorted(self.order) != list(range(num_shards)):
+            raise ValueError(
+                f"order must be a permutation of range({num_shards}), got {self.order}"
+            )
+        #: Topology used for healthy-domain standby preference (falls back to
+        #: the schedule's own topology, which also drives per-domain stats).
+        if (
+            topology is not None
+            and schedule.topology is not None
+            and topology != schedule.topology
+        ):
+            raise ValueError(
+                "the cluster's topology and the fault schedule's topology "
+                "disagree; build both from the same ClusterTopology"
+            )
+        self._placement_topology = topology if topology is not None else schedule.topology
+        if self._placement_topology is not None:
+            self._placement_topology.validate_for(num_shards)
         self.alive = [True] * num_shards
         self.factor = [1.0] * num_shards
-        self._events = list(schedule.events)
+        self._events = list(schedule.expanded_events)
         self._cursor = 0
         # Static views of the schedule: per-shard crash instants, per-shard
         # dead intervals and the merged cluster-degraded intervals (half-open,
@@ -562,24 +844,64 @@ class FaultRuntime:
         index = bisect_right(crashes, seconds)
         return crashes[index] if index < len(crashes) else None
 
+    def dead_until(self, shard_id: int, seconds: float) -> Optional[float]:
+        """The recover time of the outage covering ``seconds``, else None.
+
+        Consults the *static* schedule, not the event cursor: a parked batch
+        re-dispatched by :meth:`flush` carries a ready time in the cursor's
+        future, and a shard that looks alive *now* may be scheduled dead
+        across that future start.
+        """
+        for crash, recover in self._dead[shard_id]:
+            if crash <= seconds < recover:
+                return recover
+        return None
+
     def degraded_at(self, seconds: float) -> bool:
         """Whether at least one shard is down at ``seconds``."""
         index = bisect_right(self._degraded_starts, seconds) - 1
         return index >= 0 and seconds < self._degraded[index][1]
 
     # ------------------------------------------------------- dispatch planes
+    def _domain_healthy(self, shard_id: int) -> bool:
+        """Whether every shard in ``shard_id``'s failure domain is alive."""
+        domain = self._placement_topology.domain_of(shard_id)
+        return all(self.alive[s] for s in self._placement_topology.shards_in(domain))
+
     def active_alive(self, active_count: int) -> List[int]:
         """The dispatchable shard set: the autoscaler's target prefix minus
         dead shards, topped up with live standby shards past the prefix so
-        crashed capacity is replaced while provisioned spares exist."""
+        crashed capacity is replaced while provisioned spares exist.
+
+        With an activation ``order`` the prefix is the order's first
+        ``active_count`` shards, and the standby top-up prefers shards in
+        *healthy* failure domains (every member alive) — replacing a rack's
+        lost capacity inside the blast radius of the same failing rack is
+        how a second correlated hit takes the substitutes down too.
+        """
         if not self.schedule.fault_aware:
+            if self.order is not None:
+                return list(self.order[:active_count])
             return list(range(active_count))
-        active = [s for s in range(active_count) if self.alive[s]]
+        if self.order is None:
+            active = [s for s in range(active_count) if self.alive[s]]
+            missing = active_count - len(active)
+            for shard in range(active_count, self.num_shards):
+                if missing == 0:
+                    break
+                if self.alive[shard]:
+                    active.append(shard)
+                    missing -= 1
+            return active
+        active = [s for s in self.order[:active_count] if self.alive[s]]
         missing = active_count - len(active)
-        for shard in range(active_count, self.num_shards):
-            if missing == 0:
-                break
-            if self.alive[shard]:
+        if missing > 0:
+            standby = [s for s in self.order[active_count:] if self.alive[s]]
+            if self._placement_topology is not None:
+                standby.sort(key=lambda s: not self._domain_healthy(s))
+            for shard in standby:
+                if missing == 0:
+                    break
                 active.append(shard)
                 missing -= 1
         return active
@@ -647,21 +969,30 @@ class FaultRuntime:
             shard_id = env.pick(batch, workload, candidates)
             start = max(batch.ready_seconds, env.busy(shard_id))
             crash_at = self.next_crash_after(shard_id, batch.ready_seconds)
-            if crash_at is None or crash_at > start:
+            # A flushed parked batch can carry a ready time ahead of the
+            # event cursor, so "alive now" is not enough: the shard must
+            # also not be scheduled dead across the batch's actual start.
+            if self.dead_until(shard_id, start) is None and (
+                crash_at is None or crash_at > start
+            ):
                 break
             migrated = True
             candidates = [s for s in candidates if s != shard_id]
             if not candidates:
                 self.migrated += len(batch.requests)
-                earliest = min(
-                    crash
-                    for crash in (
-                        self.next_crash_after(s, batch.ready_seconds) for s in active
+                horizons = []
+                for s in active:
+                    blocked = self.dead_until(
+                        s, max(batch.ready_seconds, env.busy(s))
                     )
-                    if crash is not None
-                )
+                    if blocked is not None:
+                        horizons.append(blocked)
+                        continue
+                    crash = self.next_crash_after(s, batch.ready_seconds)
+                    if crash is not None:
+                        horizons.append(crash)
                 self.parked.append(
-                    RequestBatch(requests=batch.requests, ready_seconds=earliest)
+                    RequestBatch(requests=batch.requests, ready_seconds=min(horizons))
                 )
                 return
         if migrated:
@@ -697,7 +1028,10 @@ class FaultRuntime:
         shard's queue when the crash hits dies with the shard, and in-flight
         failures are terminal: nothing migrates, nothing retries.
         """
-        active = list(range(env.active_count()))
+        if env.active_ids is not None:
+            active = list(env.active_ids())
+        else:
+            active = list(range(env.active_count()))
         workload = env.merged(batch)
         shard_id = env.pick(batch, workload, active)
         if not self.alive[shard_id]:
@@ -813,6 +1147,28 @@ class FaultRuntime:
             for shard in range(self.num_shards)
         )
         degraded = sum(clipped(lo, hi) for lo, hi in self._degraded)
+        domains: Optional[Tuple[DomainOutageStats, ...]] = None
+        topology = self.schedule.topology
+        if topology is not None:
+            per_domain: List[DomainOutageStats] = []
+            for name in topology.domain_names:
+                members = topology.shards_in(name)
+                windows = []
+                for lo, hi in self._full_outage_windows(members):
+                    lo_c, hi_c = max(lo, start), min(hi, end)
+                    if hi_c > lo_c:
+                        windows.append((lo_c, hi_c))
+                per_domain.append(
+                    DomainOutageStats(
+                        domain=name,
+                        shards=members,
+                        outages=len(windows),
+                        outage_seconds=sum(hi - lo for lo, hi in windows),
+                        downtime_seconds=sum(downtime[s] for s in members),
+                        windows=tuple(windows),
+                    )
+                )
+            domains = tuple(per_domain)
         return FaultStats(
             migrated=self.migrated,
             retried=self.retried,
@@ -821,4 +1177,33 @@ class FaultRuntime:
             degraded_seconds=degraded,
             served_degraded=self.served_degraded,
             slo_met_degraded=self.slo_met_degraded,
+            domains=domains,
         )
+
+    def _full_outage_windows(self, members: Sequence[int]) -> List[Tuple[float, float]]:
+        """Intervals where every shard in ``members`` is dead simultaneously.
+
+        Sweep over the members' dead intervals; a ``-1`` (recover) at the
+        same instant as a ``+1`` (crash) applies first, matching the
+        half-open interval semantics — the recovering shard is alive at the
+        boundary, so the domain is not fully down there.
+        """
+        transitions: List[Tuple[float, int]] = []
+        for shard in members:
+            for lo, hi in self._dead[shard]:
+                transitions.append((lo, 1))
+                transitions.append((hi, -1))
+        transitions.sort(key=lambda t: (t[0], t[1]))
+        windows: List[Tuple[float, float]] = []
+        count = 0
+        open_at: Optional[float] = None
+        for when, delta in transitions:
+            count += delta
+            if count == len(members) and open_at is None:
+                open_at = when
+            elif count < len(members) and open_at is not None:
+                windows.append((open_at, when))
+                open_at = None
+        if open_at is not None:
+            windows.append((open_at, math.inf))
+        return windows
