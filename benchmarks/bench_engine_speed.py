@@ -7,11 +7,19 @@ wall-clock of each ``serve_trace`` call per trace scale.  Both reports are
 asserted byte-identical before any timing is trusted: a fast engine that
 drifts from the reference is a bug, not a speedup.
 
-The acceptance gate — fast >= 5x reference on the 20k-request trace (quick
-mode: 5k requests, >= 3x) — is enforced by the exit code and the
-pytest-benchmark entry, so CI fails if the fast engine regresses.  A
+The fast engine itself has two offline loops — the per-event loop and the
+array-native *chunked* loop ``serve_trace`` selects by default — so each
+gated scale times three runs: reference, per-event fast (``chunked=False``)
+and chunked fast.  All three reports are asserted byte-identical.
+
+Acceptance gates, enforced by the exit code and the pytest-benchmark entry:
+fast (chunked) >= 5x reference at 20k requests (quick mode: 5k, >= 3x), and
+chunked >= its per-scale floor over the per-event fast loop.  A
 fast-engine-only 100k-request point (the "interactive speed" headline; the
-reference would take minutes there) is recorded without a gate.
+reference would take minutes there) is recorded without a gate, and the
+full run adds a **1M-request fast-only tier**: chunked vs per-event, gated
+at >= 3x with byte-identical reports (the scale the array-native loop
+exists for).
 
 Results are written to ``BENCH_engine_speed.json`` at the repo root;
 ``benchmarks/check_perf_regression.py`` compares fresh runs against the
@@ -59,11 +67,22 @@ MAX_WAIT_SECONDS = 0.005
 #: Shard count of both clusters.
 NUM_SHARDS = 4
 
-#: Gated trace scales: (num_requests, minimum fast-vs-reference speedup).
-GATED_SCALES = ((5_000, 3.0), (20_000, 5.0))
+#: Gated trace scales: (num_requests, minimum fast-vs-reference speedup,
+#: minimum chunked-vs-per-event speedup).
+GATED_SCALES = ((5_000, 3.0, 1.1), (20_000, 5.0, 1.4))
 
 #: Fast-engine-only showcase scale (no reference run, no gate).
 SHOWCASE_SCALE = 100_000
+
+#: Fast-only million-request tier: chunked vs per-event loop, no reference.
+MILLION_SCALE = 1_000_000
+
+#: Minimum chunked-vs-per-event speedup at the million-request tier.
+MIN_MILLION_SPEEDUP = 3.0
+
+#: Wall-clock ceiling for the chunked 1M replay (machine-independent smoke
+#: budget; ~10x headroom over a laptop run).
+MILLION_WALL_BUDGET_SECONDS = 60.0
 
 SEED = 1
 
@@ -106,6 +125,56 @@ def _timed_serve(services, engine: str, trace):
     return report, elapsed
 
 
+def _timed_fast(services, trace, chunked: bool):
+    """Time one fast-engine replay with the offline loop pinned explicitly."""
+    from repro.serving.engine import serve_trace_fast
+
+    cluster = _cluster(services, ENGINE_FAST)
+    started = time.perf_counter()
+    report = serve_trace_fast(cluster, trace, chunked=chunked)
+    elapsed = time.perf_counter() - started
+    return report, elapsed
+
+
+def run_million(services=None) -> Dict:
+    """The fast-only 1M-request tier: chunked vs per-event loop.
+
+    Returns the result entry (also embedded in the full run's document);
+    raises on report divergence.  The reference engine is deliberately
+    absent — it would take minutes at this scale — so the regression
+    script normalizes machine speed with the per-event fast loop instead.
+    """
+    if services is None:
+        services = build_services()
+    trace = _trace(MILLION_SCALE)
+    event_report, event_seconds = _timed_fast(services, trace, chunked=False)
+    chunked_report, chunked_seconds = _timed_fast(services, trace, chunked=True)
+    if json.dumps(event_report.as_dict(), sort_keys=True) != json.dumps(
+        chunked_report.as_dict(), sort_keys=True
+    ):
+        raise AssertionError(
+            f"engine divergence at {MILLION_SCALE} requests: chunked report is "
+            "not byte-identical to the per-event fast report"
+        )
+    speedup = event_seconds / max(chunked_seconds, 1e-12)
+    entry = {
+        "scale": MILLION_SCALE,
+        "event_seconds": round(event_seconds, 4),
+        "chunked_seconds": round(chunked_seconds, 4),
+        "chunked_speedup": round(speedup, 2),
+        "min_chunked_speedup": MIN_MILLION_SPEEDUP,
+        "wall_budget_seconds": MILLION_WALL_BUDGET_SECONDS,
+        "identical_reports": True,
+    }
+    verdict = "ok" if speedup >= MIN_MILLION_SPEEDUP else "REGRESSION"
+    print(
+        f"{MILLION_SCALE:>7} requests: per-event {event_seconds:7.2f}s | "
+        f"chunked {chunked_seconds:7.3f}s | {speedup:6.1f}x "
+        f"(gate >= {MIN_MILLION_SPEEDUP:.0f}x) | {verdict}"
+    )
+    return entry
+
+
 def run(quick: bool = False) -> Dict:
     """Execute the benchmark and return (and persist) the result document."""
     services = build_services()
@@ -113,39 +182,52 @@ def run(quick: bool = False) -> Dict:
     failures: List[str] = []
 
     scales = GATED_SCALES[:1] if quick else GATED_SCALES
-    for num_requests, min_speedup in scales:
+    for num_requests, min_speedup, min_chunked in scales:
         trace = _trace(num_requests)
         reference_report, reference_seconds = _timed_serve(
             services, ENGINE_REFERENCE, trace
         )
-        fast_report, fast_seconds = _timed_serve(services, ENGINE_FAST, trace)
+        event_report, event_seconds = _timed_fast(services, trace, chunked=False)
+        fast_report, fast_seconds = _timed_fast(services, trace, chunked=True)
         reference_rendered = json.dumps(reference_report.as_dict(), sort_keys=True)
         fast_rendered = json.dumps(fast_report.as_dict(), sort_keys=True)
-        if reference_rendered != fast_rendered:
+        event_rendered = json.dumps(event_report.as_dict(), sort_keys=True)
+        if reference_rendered != fast_rendered or reference_rendered != event_rendered:
             raise AssertionError(
-                f"engine divergence at {num_requests} requests: fast report is "
+                f"engine divergence at {num_requests} requests: fast reports are "
                 "not byte-identical to the reference report"
             )
         speedup = reference_seconds / max(fast_seconds, 1e-12)
+        chunked_speedup = event_seconds / max(fast_seconds, 1e-12)
         results.append(
             {
                 "scale": num_requests,
                 "reference_seconds": round(reference_seconds, 4),
                 "fast_seconds": round(fast_seconds, 4),
+                "event_seconds": round(event_seconds, 4),
                 "speedup": round(speedup, 2),
                 "min_speedup": min_speedup,
+                "chunked_speedup": round(chunked_speedup, 2),
+                "min_chunked_speedup": min_chunked,
                 "identical_reports": True,
             }
         )
-        verdict = "ok" if speedup >= min_speedup else "REGRESSION"
+        verdict = "ok" if (speedup >= min_speedup and chunked_speedup >= min_chunked) \
+            else "REGRESSION"
         print(
             f"{num_requests:>7} requests: reference {reference_seconds:7.2f}s | "
-            f"fast {fast_seconds:7.3f}s | {speedup:6.1f}x (gate >= {min_speedup:.0f}x) "
-            f"| {verdict}"
+            f"per-event {event_seconds:7.3f}s | chunked {fast_seconds:7.3f}s | "
+            f"{speedup:6.1f}x (gate >= {min_speedup:.0f}x) | "
+            f"chunked {chunked_speedup:5.2f}x (gate >= {min_chunked:.2f}x) | {verdict}"
         )
         if speedup < min_speedup:
             failures.append(
                 f"{num_requests} requests: {speedup:.1f}x below the {min_speedup:.0f}x gate"
+            )
+        if chunked_speedup < min_chunked:
+            failures.append(
+                f"{num_requests} requests: chunked loop {chunked_speedup:.2f}x below "
+                f"the {min_chunked:.2f}x gate over the per-event loop"
             )
 
     showcase: Optional[Dict] = None
@@ -162,6 +244,22 @@ def run(quick: bool = False) -> Dict:
             f"{SHOWCASE_SCALE:>7} requests: fast-only {fast_seconds:7.2f}s "
             f"(reference skipped) | {report.throughput_rps:8.1f} simulated rps"
         )
+
+    million: Optional[Dict] = None
+    if not quick:
+        million = run_million(services)
+        if million["chunked_speedup"] < million["min_chunked_speedup"]:
+            failures.append(
+                f"{MILLION_SCALE} requests: chunked loop "
+                f"{million['chunked_speedup']:.2f}x below the "
+                f"{million['min_chunked_speedup']:.0f}x gate over the per-event loop"
+            )
+        if million["chunked_seconds"] > million["wall_budget_seconds"]:
+            failures.append(
+                f"{MILLION_SCALE} requests: chunked wall-clock "
+                f"{million['chunked_seconds']:.1f}s over the "
+                f"{million['wall_budget_seconds']:.0f}s budget"
+            )
 
     document = {
         "benchmark": "engine_speed",
@@ -182,9 +280,19 @@ def run(quick: bool = False) -> Dict:
         },
         "results": results,
         "showcase_100k": showcase,
+        "million": million,
         "wall_clock_seconds": round(
-            sum(entry["reference_seconds"] + entry["fast_seconds"] for entry in results)
-            + (showcase["fast_seconds"] if showcase else 0.0),
+            sum(
+                entry["reference_seconds"] + entry["fast_seconds"]
+                + entry["event_seconds"]
+                for entry in results
+            )
+            + (showcase["fast_seconds"] if showcase else 0.0)
+            + (
+                million["event_seconds"] + million["chunked_seconds"]
+                if million
+                else 0.0
+            ),
             4,
         ),
     }
@@ -202,15 +310,28 @@ def test_engine_speed(benchmark):
     document = run_once(benchmark, lambda: run(quick=True))
     for entry in document["results"]:
         assert entry["speedup"] >= entry["min_speedup"]
+        assert entry["chunked_speedup"] >= entry["min_chunked_speedup"]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick", action="store_true",
-        help="5k-request gate only, skip 20k and the 100k showcase (CI mode)",
+        help="5k-request gate only, skip 20k, the 100k showcase and the 1M tier "
+             "(CI mode)",
+    )
+    parser.add_argument(
+        "--million", action="store_true",
+        help="run only the fast-only 1M-request tier (chunked vs per-event)",
     )
     args = parser.parse_args(argv)
+    if args.million:
+        entry = run_million()
+        ok = (
+            entry["chunked_speedup"] >= entry["min_chunked_speedup"]
+            and entry["chunked_seconds"] <= entry["wall_budget_seconds"]
+        )
+        return 0 if ok else 1
     document = run(quick=args.quick)
     if document.get("failures"):
         for failure in document["failures"]:

@@ -9,12 +9,19 @@ Committed-vs-fresh comparisons:
 * **Serving engine** — reads the committed ``BENCH_engine_speed.json``, runs
   a fresh ``--quick`` pass of ``benchmarks/bench_engine_speed.py``, and fails
   when (a) the fresh fast/reference speedup drops below
-  ``tolerance * committed_speedup`` or the scale's own gate, or (b) the fast
-  engine's *wall-clock* regresses by more than ``--engine-wall-tolerance``
-  (default 20%) after normalizing out the machine: the reference engine runs
-  the identical simulation, so ``fresh_reference / committed_reference`` is
-  the machine-speed factor and the check is
-  ``fresh_fast <= tolerance * machine_factor * committed_fast``.
+  ``tolerance * committed_speedup`` or the scale's own gate, (b) the fresh
+  chunked-vs-per-event speedup drops below ``tolerance * committed`` or the
+  scale's own floor (catching a quietly disabled array-native loop), or
+  (c) the fast engine's *wall-clock* regresses by more than
+  ``--engine-wall-tolerance`` (default 20%) after normalizing out the
+  machine: the reference engine runs the identical simulation, so
+  ``fresh_reference / committed_reference`` is the machine-speed factor and
+  the check is ``fresh_fast <= tolerance * machine_factor * committed_fast``.
+  With ``--engine-million`` (opt-in; ~30s) it additionally re-runs the
+  fast-only 1M-request tier and gates the chunked-vs-per-event speedup at
+  ``max(tolerance * committed, 3.0)`` plus a machine-normalized wall-clock
+  budget (normalizer: the per-event loop, since the reference engine is
+  absent at that scale).
 * **Fault tolerance** — reads the committed ``BENCH_fault_tolerance.json``,
   runs a fresh ``--quick`` pass of ``benchmarks/bench_fault_tolerance.py``,
   and fails when the fresh fault-aware/fault-oblivious goodput ratio drops
@@ -148,10 +155,20 @@ def _check_engine(args) -> List[str]:
         )
         wall_budget = args.engine_wall_tolerance * machine_factor * baseline["fast_seconds"]
         wall_ok = entry["fast_seconds"] <= wall_budget
-        verdict = "ok" if (speedup_ok and wall_ok) else "REGRESSION"
+        # Chunked floor: the array-native loop must keep beating the
+        # per-event loop (a silent fallback to per-event would still pass
+        # the fast-vs-reference gate).  Pre-chunked baselines lack the
+        # field; fall back to the scale's own absolute floor then.
+        chunked_floor = max(
+            args.tolerance * baseline.get("chunked_speedup", 0.0),
+            entry["min_chunked_speedup"],
+        )
+        chunked_ok = entry["chunked_speedup"] >= chunked_floor
+        verdict = "ok" if (speedup_ok and wall_ok and chunked_ok) else "REGRESSION"
         print(
             f"{scale:>7}: committed {baseline['speedup']:6.2f}x | "
             f"fresh {entry['speedup']:6.2f}x | floor {floor:6.2f}x | "
+            f"chunked {entry['chunked_speedup']:5.2f}x (floor {chunked_floor:4.2f}x) | "
             f"fast {entry['fast_seconds']:6.3f}s (budget {wall_budget:6.3f}s) | {verdict}"
         )
         if not speedup_ok:
@@ -159,11 +176,66 @@ def _check_engine(args) -> List[str]:
                 f"engine {scale}: fresh speedup {entry['speedup']:.2f}x below "
                 f"floor {floor:.2f}x (committed {baseline['speedup']:.2f}x)"
             )
+        if not chunked_ok:
+            failures.append(
+                f"engine {scale}: fresh chunked-vs-per-event speedup "
+                f"{entry['chunked_speedup']:.2f}x below floor {chunked_floor:.2f}x "
+                f"(committed {baseline.get('chunked_speedup', 'n/a')})"
+            )
         if not wall_ok:
             failures.append(
                 f"engine {scale}: fast wall-clock {entry['fast_seconds']:.3f}s exceeds "
                 f"{args.engine_wall_tolerance:.0%} of the machine-normalized committed "
                 f"{baseline['fast_seconds']:.3f}s (budget {wall_budget:.3f}s)"
+            )
+
+    if args.engine_million:
+        baseline_million = committed.get("million")
+        if baseline_million is None:
+            failures.append(
+                "engine 1M: committed baseline has no 'million' section — "
+                "regenerate with `python benchmarks/bench_engine_speed.py` and commit it"
+            )
+            return failures
+        print("\nrunning fresh fast-only 1M-request tier (--engine-million)...\n")
+        fresh_million = bench_engine_speed.run_million()
+        floor = max(
+            args.tolerance * baseline_million["chunked_speedup"],
+            fresh_million["min_chunked_speedup"],
+        )
+        speedup_ok = fresh_million["chunked_speedup"] >= floor
+        # No reference run at 1M; the per-event fast loop is the identical
+        # simulation on both machines, so it is the machine normalizer.
+        machine_factor = fresh_million["event_seconds"] / max(
+            baseline_million["event_seconds"], 1e-12
+        )
+        wall_budget = (
+            args.engine_wall_tolerance
+            * machine_factor
+            * baseline_million["chunked_seconds"]
+        )
+        wall_ok = fresh_million["chunked_seconds"] <= wall_budget
+        verdict = "ok" if (speedup_ok and wall_ok) else "REGRESSION"
+        print(
+            f"{fresh_million['scale']:>7}: committed "
+            f"{baseline_million['chunked_speedup']:6.2f}x | "
+            f"fresh {fresh_million['chunked_speedup']:6.2f}x | floor {floor:6.2f}x | "
+            f"chunked {fresh_million['chunked_seconds']:6.3f}s "
+            f"(budget {wall_budget:6.3f}s) | {verdict}"
+        )
+        if not speedup_ok:
+            failures.append(
+                f"engine 1M: fresh chunked-vs-per-event speedup "
+                f"{fresh_million['chunked_speedup']:.2f}x below floor {floor:.2f}x "
+                f"(committed {baseline_million['chunked_speedup']:.2f}x)"
+            )
+        if not wall_ok:
+            failures.append(
+                f"engine 1M: chunked wall-clock "
+                f"{fresh_million['chunked_seconds']:.3f}s exceeds "
+                f"{args.engine_wall_tolerance:.0%} of the machine-normalized "
+                f"committed {baseline_million['chunked_seconds']:.3f}s "
+                f"(budget {wall_budget:.3f}s)"
             )
     return failures
 
@@ -377,6 +449,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=DEFAULT_ENGINE_WALL_TOLERANCE,
         help="allowed machine-normalized fast-engine wall-clock growth factor",
+    )
+    parser.add_argument(
+        "--engine-million",
+        action="store_true",
+        help="also re-run the fast-only 1M-request engine tier and gate the "
+             "chunked-vs-per-event speedup against the committed baseline",
     )
     args = parser.parse_args(argv)
 

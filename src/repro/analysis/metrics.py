@@ -191,14 +191,21 @@ class P2Quantile:
     run is in flight, without holding the sample.  Report-time numbers never
     come from here: :class:`StreamingLatencyStats` falls back to the exact
     sorted-sample computation at report boundaries.
+
+    :meth:`estimate` raises on an empty sample instead of returning a
+    sentinel — a ``0.0`` would be indistinguishable from a true
+    zero-latency quantile; callers that want a default should check
+    :attr:`count` first.
     """
 
-    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments")
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_increments")
 
     def __init__(self, q: float) -> None:
         if not 0 < q < 100:
             raise ValueError("q must be within (0, 100)")
         self.q = q
+        #: Observations fed so far (0 means :meth:`estimate` would raise).
+        self.count = 0
         p = q / 100.0
         self._heights: List[float] = []
         self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
@@ -208,6 +215,7 @@ class P2Quantile:
     def push(self, sample: float) -> None:
         """Feed one observation into the marker state."""
         heights = self._heights
+        self.count += 1
         if len(heights) < 5:
             heights.append(sample)
             heights.sort()
@@ -234,10 +242,19 @@ class P2Quantile:
             ):
                 step = 1.0 if delta >= 1.0 else -1.0
                 candidate = self._parabolic(i, step)
-                if heights[i - 1] < candidate < heights[i + 1]:
-                    heights[i] = candidate
-                else:
-                    heights[i] = self._linear(i, step)
+                if not (heights[i - 1] < candidate < heights[i + 1]):
+                    candidate = self._linear(i, step)
+                    # Degenerate markers (duplicate heights among the first
+                    # five samples leave flat spans) can push the linear
+                    # update a hair outside the bracket through float
+                    # error, after which the parabolic update drifts on
+                    # the inverted span; clamp so the marker invariant
+                    # h[i-1] <= h[i] <= h[i+1] always holds.
+                    if candidate < heights[i - 1]:
+                        candidate = heights[i - 1]
+                    elif candidate > heights[i + 1]:
+                        candidate = heights[i + 1]
+                heights[i] = candidate
                 positions[i] += step
 
     def _parabolic(self, i: int, step: float) -> float:
@@ -257,9 +274,16 @@ class P2Quantile:
         return heights[i] + step * (heights[j] - heights[i]) / (positions[j] - positions[i])
 
     def estimate(self) -> float:
-        """Current quantile estimate (exact while fewer than five samples)."""
+        """Current quantile estimate (exact while fewer than five samples).
+
+        Raises ``ValueError`` when no observation has been pushed yet: an
+        empty estimator has no quantile, and returning ``0.0`` (the old
+        behaviour) was indistinguishable from a true zero-latency sample.
+        """
         if not self._heights:
-            return 0.0
+            raise ValueError(
+                "P2Quantile.estimate() on an empty sample; check .count first"
+            )
         if len(self._heights) < 5:
             return _percentile_sorted(self._heights, self.q)
         return float(self._heights[2])
@@ -315,6 +339,34 @@ class StreamingLatencyStats:
         if self._p2:
             for marker in self._p2.values():
                 marker.push(sample)
+
+    def extend(self, samples) -> None:
+        """Bulk-accumulate ``samples`` (a float64 ndarray or any iterable).
+
+        Bit-identical to pushing the samples one by one in order: the
+        running sum folds left-to-right (``numpy.add.accumulate`` is a
+        sequential fold, unlike ``numpy.sum``'s pairwise reduction), so a
+        later :meth:`stats` cannot tell the chunked path from the per-event
+        one.  This is the serving engine's array-native hot path; with P²
+        tracking enabled it falls back to per-sample pushes because the
+        marker state is inherently sequential.
+        """
+        if self._p2:
+            for sample in samples:
+                self.push(sample)
+            return
+        import numpy as np
+
+        chunk = np.ascontiguousarray(samples, dtype=np.float64)
+        if chunk.size == 0:
+            return
+        # array('d') shares numpy's machine representation of float64, so
+        # the raw buffer append is exact.
+        self._samples.frombytes(chunk.tobytes())
+        acc = np.empty(chunk.size + 1, dtype=np.float64)
+        acc[0] = self._sum
+        acc[1:] = chunk
+        self._sum = float(np.add.accumulate(acc)[-1])
 
     def approx_percentile(self, q: float) -> float:
         """Live P² estimate for one of :data:`APPROX_QUANTILES` (O(1)).

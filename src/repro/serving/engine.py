@@ -42,6 +42,8 @@ from collections import deque
 from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.analysis.metrics import StreamingLatencyStats
 from repro.serving.faults import DrainPlanner, FaultLoopHooks, FaultSchedule, due
 from repro.serving.requests import InferenceRequest
@@ -323,15 +325,333 @@ def _pick_shard(
     return heap.pick(active_count)
 
 
+class _BatchView:
+    """Mutable stand-in for :class:`RequestBatch` in the chunked dispatch loop.
+
+    ``_pick_shard`` (both the heap shortcut and the delegated reference
+    picker) reads only ``key``, ``ready_seconds`` and ``workload`` — never
+    the member list — so the chunked loop reuses one view object per run
+    instead of materializing a ``RequestBatch`` per batch."""
+
+    __slots__ = ("key", "ready_seconds", "workload")
+
+
+class _ChunkedServedLog:
+    """Lazy per-request record list of a chunked run.
+
+    Holds the plan arrays and per-batch dispatch results; the
+    ``ServedRequest`` objects (and the request objects they wrap) are built
+    only if somebody actually reads the log.  ``as_dict``/``compact`` never
+    do — they read the streaming aggregates — so a chunked 1M-request run
+    never pays the object materialization unless a caller iterates the
+    records.  Materialization order is batch dispatch order with members in
+    arrival order: exactly the event loop's append order, with every float
+    recomputed by the same scalar expression, so the records compare equal
+    to an event-loop run's list."""
+
+    __slots__ = (
+        "_trace",
+        "_plan",
+        "_shard_ids",
+        "_starts",
+        "_durations",
+        "_reports",
+        "_records",
+    )
+
+    def __init__(self, trace, plan, shard_ids, starts, durations, reports) -> None:
+        self._trace = trace
+        self._plan = plan
+        self._shard_ids = shard_ids
+        self._starts = starts
+        self._durations = durations
+        self._reports = reports
+        self._records: Optional[list] = None
+
+    def _materialize(self) -> list:
+        if self._records is None:
+            from repro.serving.cluster import ServedRequest
+
+            requests = self._trace.requests
+            plan = self._plan
+            positions = plan.member_positions.tolist()
+            offsets = plan.batch_offsets.tolist()
+            ready_seconds = plan.ready_seconds.tolist()
+            shard_ids = self._shard_ids.tolist()
+            starts = self._starts.tolist()
+            durations = self._durations.tolist()
+            reports = self._reports
+            records = []
+            for b in range(len(ready_seconds)):
+                lo, hi = offsets[b], offsets[b + 1]
+                ready = ready_seconds[b]
+                shard_id = shard_ids[b]
+                duration = durations[b]
+                report = reports[b]
+                batch_size = hi - lo
+                dispatch_delay = starts[b] - ready
+                for p in positions[lo:hi]:
+                    request = requests[p]
+                    records.append(
+                        ServedRequest(
+                            request=request,
+                            shard_id=shard_id,
+                            batch_size=batch_size,
+                            batching_delay=ready - request.arrival_seconds,
+                            dispatch_delay=dispatch_delay,
+                            service_seconds=duration,
+                            report=report,
+                        )
+                    )
+            self._records = records
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._plan.member_positions)
+
+    def __bool__(self) -> bool:
+        return len(self._plan.member_positions) > 0
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __eq__(self, other):
+        if isinstance(other, _ChunkedServedLog):
+            other = other._materialize()
+        if isinstance(other, list):
+            return self._materialize() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        state = "materialized" if self._records is not None else "lazy"
+        return f"<_ChunkedServedLog {len(self)} records ({state})>"
+
+
+def _left_fold_sum(prior: float, values: np.ndarray) -> float:
+    """Sequential left-fold sum of ``values`` starting from ``prior``.
+
+    Bit-identical to ``for v in values: prior += v``:
+    ``numpy.add.accumulate`` is a sequential fold (unlike ``numpy.sum``'s
+    pairwise reduction), so the chunked engine's decomposition sums carry
+    the exact rounding trail of the event loop's ``+=`` chain."""
+    if values.size == 0:
+        return prior
+    acc = np.empty(values.size + 1, dtype=np.float64)
+    acc[0] = prior
+    acc[1:] = values
+    return float(np.add.accumulate(acc)[-1])
+
+
+def _serve_trace_chunked(
+    cluster: "ShardedServiceCluster",
+    trace,
+    slo: Optional["SLOPolicy"],
+):
+    """Array-native offline replay: the chunked core of ``serve_trace_fast``.
+
+    Batch formation, per-request accounting and the streaming aggregates all
+    operate on NumPy views of the trace's structure-of-arrays form
+    (:class:`~repro.serving.scheduler.BatchPlan`); the only per-batch Python
+    work left is the dispatch decision itself — shard pick, serve-transition
+    cache lookup, busy-horizon update — which is inherently sequential
+    because each pick depends on the horizons the previous batch wrote.
+    Request objects are never materialized: the returned report carries a
+    :class:`_ChunkedServedLog` that builds the per-request records only on
+    first access.
+
+    Byte-identity with the event loop is by construction:
+
+    * batches come from the same :meth:`BatchScheduler.schedule_arrays` plan
+      the event loop's ``schedule_fast`` wraps,
+    * every float lands through the same scalar expression shape
+      (elementwise ``(batching + dispatch) + service``, broadcast of the
+      per-batch ``start - ready``), and
+    * sums fold left-to-right from the same initial values
+      (:func:`_left_fold_sum`, ``StreamingLatencyStats.extend``).
+
+    Callers gate on eligibility: no fault schedule and no fair-mode
+    scheduler (both make the next event state-dependent in ways the plan
+    cannot precompute), otherwise ``serve_trace_fast`` degrades to the
+    per-event loop.
+    """
+    from repro.serving.cluster import POLICY_LEAST_LOADED, ClusterReport
+
+    cluster._reset_dispatch_state()
+    arrays = trace.arrays()
+    plan = cluster.scheduler.schedule_arrays(trace)
+    num_shards = cluster.num_shards
+    heap = ShardHeap(num_shards)
+    busy_total = [0.0] * num_shards
+    shard_requests = [0] * num_shards
+    merged_cache: Dict[tuple, WorkloadProfile] = {}
+    last_finish = 0.0
+
+    pool = arrays.workload_pool
+    key_of_slot = [workload.batch_key for workload in pool]
+    num_batches = plan.num_batches
+    offsets = plan.batch_offsets
+    counts = np.diff(offsets)
+    ready_array = plan.ready_seconds
+    # Python scalars for the dispatch loop: ndarray item reads in a tight
+    # loop cost ~3x a list index.
+    ready_list = ready_array.tolist()
+    counts_list = counts.tolist()
+    base_slots = plan.base_slot.tolist()
+    merged_totals = plan.merged_sizes.tolist()
+
+    shard_ids = np.empty(num_batches, dtype=np.int64)
+    starts = np.empty(num_batches, dtype=np.float64)
+    durations = np.empty(num_batches, dtype=np.float64)
+    reports: List[object] = [None] * num_batches
+
+    # The common dispatch configuration (least-loaded, no topology) is a
+    # bare heap pick; hoisting the policy test out of the loop skips the
+    # delegating ``_pick_shard`` call per batch.
+    simple_pick = cluster._order is None and cluster.policy == POLICY_LEAST_LOADED
+    shards = cluster.shards
+    busy = heap.busy
+    view = _BatchView()
+    for b in range(num_batches):
+        slot = base_slots[b]
+        total = merged_totals[b]
+        merged_key = (slot, total)
+        workload = merged_cache.get(merged_key)
+        if workload is None:
+            # Same merge the event loop evaluates through
+            # ``RequestBatch.workload``: base profile, member sizes summed.
+            workload = pool[slot].with_batch_size(total)
+            merged_cache[merged_key] = workload
+        ready = ready_list[b]
+        if simple_pick:
+            shard_id = heap.pick(num_shards)
+        else:
+            view.key = key_of_slot[slot]
+            view.ready_seconds = ready
+            view.workload = workload
+            shard_id = _pick_shard(cluster, heap, view, workload, num_shards)
+        start = max(ready, busy[shard_id])
+        report, duration = _cached_serve(cluster, shards[shard_id], workload)
+        finish = start + duration
+        heap.update(shard_id, finish)
+        busy_total[shard_id] += duration
+        shard_requests[shard_id] += counts_list[b]
+        if finish > last_finish:
+            last_finish = finish
+        shard_ids[b] = shard_id
+        starts[b] = start
+        durations[b] = duration
+        reports[b] = report
+
+    # ---------------------------------------------- vectorized accounting
+    member_positions = plan.member_positions
+    total_requests = len(member_positions)
+    arrivals = arrays.arrival_seconds
+    batch_of = np.repeat(np.arange(num_batches, dtype=np.int64), counts)
+    # Same scalar expressions as the event loop, elementwise: the per-batch
+    # ``start - ready`` broadcast hands every member the identical double.
+    batching = ready_array[batch_of] - arrivals[member_positions]
+    dispatch = (starts - ready_array)[batch_of]
+    service = durations[batch_of]
+    sojourn = batching + dispatch + service
+
+    workload_slots = arrays.workload_index[member_positions]
+    tenant_slots = arrays.tenant_index[member_positions]
+    tenant_pool = arrays.tenant_pool
+    degraded_of_slot = np.asarray(
+        [workload.quality == QUALITY_DEGRADED for workload in pool], dtype=bool
+    )
+    degraded = degraded_of_slot[workload_slots]
+
+    accumulator = _RunAccumulator(slo)
+    accumulator.latency.extend(sojourn)
+    accumulator.batching_sum = _left_fold_sum(0.0, batching)
+    accumulator.dispatch_sum = _left_fold_sum(0.0, dispatch)
+    accumulator.service_sum = _left_fold_sum(0.0, service)
+    accumulator.served_degraded = int(np.count_nonzero(degraded))
+    if slo is not None:
+        # ``slo_for`` depends only on the workload's name and the tenant, so
+        # one threshold per (workload slot, tenant slot) pair covers every
+        # request.
+        thresholds = np.empty((len(pool), len(tenant_pool)), dtype=np.float64)
+        for slot, workload in enumerate(pool):
+            for tenant_slot, tenant in enumerate(tenant_pool):
+                thresholds[slot, tenant_slot] = slo.slo_for(workload, tenant)
+        met = sojourn <= thresholds[workload_slots, tenant_slots]
+        accumulator.slo_met = int(np.count_nonzero(met))
+        accumulator.slo_met_degraded = int(np.count_nonzero(met & degraded))
+    else:
+        # The reference loop counts every request into the per-tenant met
+        # tallies when no SLO is set (the global ones stay zero and
+        # ``aggregates`` substitutes the counts).
+        met = np.ones(total_requests, dtype=bool)
+    for tenant_slot, tenant in enumerate(tenant_pool):
+        mask = tenant_slots == tenant_slot
+        tenant_count = int(np.count_nonzero(mask))
+        if tenant_count == 0:
+            # A pool entry no surviving request references (merge dedupe
+            # keeps it) — the reference accumulator never sees the tenant.
+            continue
+        stats = StreamingLatencyStats(track_approx=False)
+        # Boolean masking preserves served order, so the per-tenant fold
+        # carries the same rounding trail as the reference per-tenant push.
+        stats.extend(sojourn[mask])
+        accumulator.tenant_latency[tenant] = stats
+        accumulator.tenant_served[tenant] = tenant_count
+        accumulator.tenant_slo_met[tenant] = int(np.count_nonzero(met[mask]))
+        tenant_degraded = degraded[mask]
+        accumulator.tenant_degraded[tenant] = int(np.count_nonzero(tenant_degraded))
+        accumulator.tenant_slo_met_degraded[tenant] = int(
+            np.count_nonzero(met[mask] & tenant_degraded)
+        )
+
+    served = _ChunkedServedLog(trace, plan, shard_ids, starts, durations, reports)
+    first_arrival = float(arrivals[0])
+    makespan = last_finish - first_arrival if total_requests else 0.0
+    return ClusterReport(
+        system=cluster.system_name,
+        policy=cluster.policy,
+        num_shards=num_shards,
+        served=served,
+        num_batches=num_batches,
+        makespan_seconds=makespan,
+        shard_busy_seconds=busy_total,
+        shard_requests=shard_requests,
+        slo=slo,
+        aggregates=accumulator.aggregates(count=total_requests, shed_count=0),
+        faults=None,
+    )
+
+
 # --------------------------------------------------------------------- offline
 def serve_trace_fast(
     cluster: "ShardedServiceCluster",
     trace,
     slo: Optional["SLOPolicy"] = None,
     faults: Optional[FaultSchedule] = None,
+    chunked: Optional[bool] = None,
 ):
-    """Fast offline replay — the ``engine="fast"`` path of ``serve_trace``."""
+    """Fast offline replay — the ``engine="fast"`` path of ``serve_trace``.
+
+    ``chunked`` selects the array-native loop (:func:`_serve_trace_chunked`)
+    over the per-event one; the default ``None`` auto-enables it whenever
+    the run is eligible — no fault schedule, no fair-mode scheduler, a
+    non-empty trace — and degrades gracefully to the per-event loop
+    otherwise.  Both paths produce byte-identical reports; ``chunked=False``
+    forces the per-event loop (the equivalence suite and the speed benchmark
+    compare the two)."""
     from repro.serving.cluster import ClusterReport, ServedRequest
+
+    if chunked is None:
+        chunked = faults is None and not cluster.scheduler.fair and len(trace) > 0
+    if chunked:
+        if faults is not None:
+            raise ValueError("chunked replay does not support fault schedules")
+        if cluster.scheduler.fair:
+            raise ValueError("chunked replay does not support fair-mode batching")
+        return _serve_trace_chunked(cluster, trace, slo)
 
     cluster._reset_dispatch_state()
     batches = cluster.scheduler.schedule_fast(trace)

@@ -705,9 +705,25 @@ def merge_traces(traces: Sequence[RequestTrace]) -> RequestTrace:
 
     The canonical way to build multi-tenant traffic: generate one
     (single-tenant) trace per tenant — e.g. :class:`BurstyArrivals` streams
-    with per-tenant phase offsets — and merge them.  Request ids are
-    reassigned ``0..n-1`` in merged arrival order so they stay unique;
-    workload and tenant pools are deduplicated across the inputs.
+    with per-tenant phase offsets — and merge them.  Workload and tenant
+    pools are deduplicated across the inputs.
+
+    **Id-reassignment contract**: the input traces' request ids are
+    *discarded* — the merged trace numbers its requests ``0..n-1`` in merged
+    arrival order (stable by input position at same-instant arrivals), which
+    keeps ids unique across inputs that each start from 0.  Anything keyed
+    on the original ids (e.g. a prior run's per-request records) cannot be
+    joined against the merged trace; capture such joins before merging.
+    The reassigned ids are exactly what a JSONL round-trip
+    (:meth:`RequestTrace.to_jsonl` / :meth:`RequestTrace.from_jsonl`)
+    preserves, so merged traces replay reproducibly from disk.
+
+    Each input must itself be time-sorted (non-decreasing, finite
+    arrivals) — the invariant :meth:`RequestTrace.from_arrays` established
+    when the input was built.  A violation (hand-built arrays, corrupted
+    capture) raises ``ValueError`` naming the offending trace, rather than
+    silently producing a merged trace whose stable sort scrambles
+    same-instant ordering downstream.
     """
     if not traces:
         raise ValueError("merge_traces needs at least one trace")
@@ -718,8 +734,18 @@ def merge_traces(traces: Sequence[RequestTrace]) -> RequestTrace:
     arrival_parts: List[np.ndarray] = []
     index_parts: List[np.ndarray] = []
     tenant_parts: List[np.ndarray] = []
-    for trace in traces:
+    for position, trace in enumerate(traces):
         arrays = trace.arrays()
+        part = arrays.arrival_seconds
+        if part.size:
+            if not np.isfinite(part).all():
+                raise ValueError(
+                    f"merge_traces input {position} has non-finite arrival times"
+                )
+            if np.any(np.diff(part) < 0):
+                raise ValueError(
+                    f"merge_traces input {position} is not sorted by arrival time"
+                )
         workload_map = np.empty(len(arrays.workload_pool), dtype=np.int64)
         for slot, workload in enumerate(arrays.workload_pool):
             merged_slot = slot_of.get(workload)

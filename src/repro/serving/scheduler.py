@@ -17,14 +17,47 @@ contract the 1-shard identity test leans on.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Deque, Dict, Hashable, List, Mapping, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro.serving.requests import InferenceRequest, RequestTrace
 from repro.system.workload import WorkloadProfile
+
+
+class BatchPlan(NamedTuple):
+    """Array-level batch formation result (the chunked engine's working set).
+
+    One row per batch, in dispatch order — the same ``(ready_seconds,
+    first request id)`` order :meth:`BatchScheduler.schedule` closes batches
+    in.  Member rows are *positions* into the trace's structure-of-arrays
+    view (:meth:`~repro.serving.requests.RequestTrace.arrays`), so a plan
+    never materializes request objects.
+
+    Attributes:
+        member_positions: int64 trace positions, concatenated per batch;
+            batch ``b`` owns ``member_positions[batch_offsets[b]:
+            batch_offsets[b + 1]]``, in arrival order.
+        batch_offsets: int64 prefix offsets, length ``num_batches + 1``.
+        ready_seconds: float64 close time per batch.
+        base_slot: int64 workload-pool slot of each batch's first member
+            (the profile the merged workload derives from).
+        merged_sizes: int64 summed member batch sizes per batch (the merged
+            workload's ``batch_size``).
+    """
+
+    member_positions: np.ndarray
+    batch_offsets: np.ndarray
+    ready_seconds: np.ndarray
+    base_slot: np.ndarray
+    merged_sizes: np.ndarray
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.ready_seconds)
 
 
 @dataclass
@@ -187,18 +220,13 @@ class BatchScheduler:
     def schedule_fast(self, trace: RequestTrace) -> List[RequestBatch]:
         """Array-level batch formation, equivalent to :meth:`schedule`.
 
-        Batch membership under the size-or-timeout policy is independent per
-        compatibility key: a key's arrival subsequence chunks greedily — a
-        batch opened at ``t0`` absorbs same-key arrivals strictly before
-        ``t0 + max_wait_seconds`` (an arrival exactly at the deadline fires
-        the timer first and starts the next batch, like the event loop's
-        tie-break) up to ``max_batch_size``, closing at the filling member's
-        arrival or at the deadline.  Each chunk boundary is one
-        ``searchsorted`` on the key's timestamp array instead of a per-event
-        sweep over all open batches, and the closed batches are sorted by
-        the same ``(ready, first request id)`` order ``schedule`` produces
-        — the reference/fast equivalence suite asserts batch-for-batch
-        equality between the two.
+        A thin object-materializing wrapper over :meth:`schedule_arrays`:
+        the plan computes membership and ready times on the trace's SoA
+        view, and this method builds the :class:`RequestBatch` objects the
+        per-event engine dispatches.  Because the chunked engine consumes
+        the *same* plan directly, the two fast paths cannot form different
+        batches — and the reference/fast equivalence suite asserts
+        batch-for-batch equality against :meth:`schedule`.
 
         Fair mode has no array-level fast path (membership depends on the
         deficit state, not just per-key arrival order), so it delegates to
@@ -207,40 +235,129 @@ class BatchScheduler:
         """
         if self.fair:
             return self._schedule_fair(trace)
-        arrivals, workload_index, pool, _, _, _ = trace.arrays()
+        plan = self.schedule_arrays(trace)
         requests = trace.requests
-        key_of_slot = [workload.batch_key for workload in pool]
-        groups: Dict[Hashable, List[int]] = {}
-        for position, slot in enumerate(workload_index.tolist()):
-            groups.setdefault(key_of_slot[slot], []).append(position)
+        positions = plan.member_positions.tolist()
+        offsets = plan.batch_offsets.tolist()
+        ready = plan.ready_seconds.tolist()
+        return [
+            RequestBatch(
+                requests=[requests[p] for p in positions[offsets[b]:offsets[b + 1]]],
+                ready_seconds=ready[b],
+            )
+            for b in range(len(ready))
+        ]
 
-        closed: List[RequestBatch] = []
+    def schedule_arrays(self, trace: RequestTrace) -> BatchPlan:
+        """Batch formation on the trace's SoA view, no request objects.
+
+        The array-level core behind :meth:`schedule_fast` and the chunked
+        serving engine: batch membership under the size-or-timeout policy is
+        independent per compatibility key, so each key's arrival
+        subsequence chunks greedily — a batch opened at ``t0`` absorbs
+        same-key arrivals strictly before ``t0 + max_wait_seconds`` (an
+        arrival exactly at the deadline fires the timer first and starts
+        the next batch, the event loop's tie-break) up to
+        ``max_batch_size``, closing at the filling member's arrival or at
+        the deadline.  Each chunk boundary is one bisection *from the
+        chunk's start* (not over the key's whole timestamp array), and the
+        plan rows are sorted by the same ``(ready, first request id)``
+        order :meth:`schedule` produces.
+
+        Fair mode has no array-level path (membership depends on the
+        deficit state, not just per-key arrival order) and raises; callers
+        gate on :attr:`fair` and fall back to the shared batcher sweep.
+        """
+        if self.fair:
+            raise ValueError("schedule_arrays() does not support fair mode")
+        arrays = trace.arrays()
+        arrivals = arrays.arrival_seconds
+        workload_index = arrays.workload_index
+        pool = arrays.workload_pool
+        num_requests = len(arrivals)
+
+        # Map workload-pool slots to compatibility-key ids (slots that differ
+        # only in batch size share a key and therefore a group).
+        key_id_of: Dict[Hashable, int] = {}
+        keyid_of_slot = np.empty(len(pool), dtype=np.int64)
+        for slot, workload in enumerate(pool):
+            key = workload.batch_key
+            key_id = key_id_of.setdefault(key, len(key_id_of))
+            keyid_of_slot[slot] = key_id
+        if len(key_id_of) <= 1:
+            order = np.arange(num_requests, dtype=np.int64)
+            group_starts = [0] if num_requests else []
+            group_ends = [num_requests] if num_requests else []
+        else:
+            request_keys = keyid_of_slot[workload_index]
+            # Stable sort keeps each key's subsequence in arrival order.
+            order = np.argsort(request_keys, kind="stable")
+            sorted_keys = request_keys[order]
+            cuts = (np.flatnonzero(np.diff(sorted_keys)) + 1).tolist()
+            group_starts = [0] + cuts
+            group_ends = cuts + [num_requests]
+
         wait = self.max_wait_seconds
         cap = self.max_batch_size
-        for positions in groups.values():
-            times = arrivals[np.asarray(positions, dtype=np.int64)]
-            member_times = times.tolist()
-            count = len(positions)
+        batch_starts: List[int] = []
+        batch_ends: List[int] = []
+        ready_list: List[float] = []
+        for group_start, group_end in zip(group_starts, group_ends):
+            times = arrivals[order[group_start:group_end]].tolist()
+            count = group_end - group_start
             start = 0
             while start < count:
-                deadline = member_times[start] + wait
-                boundary = int(np.searchsorted(times, deadline, side="left"))
-                boundary = max(boundary, start + 1)
+                deadline = times[start] + wait
+                # Bisect from the chunk's start: an arrival exactly at the
+                # deadline belongs to the next batch (side="left").
+                boundary = bisect_left(times, deadline, start)
+                if boundary <= start:
+                    # max_wait_seconds == 0: the opener always joins its own
+                    # batch before the timer can fire.
+                    boundary = start + 1
                 if boundary - start >= cap:
                     end = start + cap
-                    ready = member_times[end - 1]
+                    ready = times[end - 1]
                 else:
                     end = boundary
                     ready = deadline
-                closed.append(
-                    RequestBatch(
-                        requests=[requests[p] for p in positions[start:end]],
-                        ready_seconds=ready,
-                    )
-                )
+                batch_starts.append(group_start + start)
+                batch_ends.append(group_start + end)
+                ready_list.append(ready)
                 start = end
-        closed.sort(key=lambda batch: (batch.ready_seconds, batch.requests[0].request_id))
-        return closed
+
+        starts = np.asarray(batch_starts, dtype=np.int64)
+        ends = np.asarray(batch_ends, dtype=np.int64)
+        ready_seconds = np.asarray(ready_list, dtype=np.float64)
+        first_positions = order[starts] if len(starts) else starts
+        first_ids = arrays.request_ids[first_positions]
+        # Dispatch order: (ready, first request id) — ids are unique, so the
+        # sort is total and matches the event loop's closure order.
+        dispatch = np.lexsort((first_ids, ready_seconds))
+        starts, ends, ready_seconds = starts[dispatch], ends[dispatch], ready_seconds[dispatch]
+        counts = ends - starts
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        # Gather member positions batch-contiguously without a Python loop:
+        # element j of batch b reads order[starts[b] + j].
+        flat = np.arange(num_requests, dtype=np.int64)
+        gather = np.repeat(starts - offsets[:-1], counts) + flat
+        member_positions = order[gather]
+        base_slot = workload_index[member_positions[offsets[:-1]]] if len(starts) else starts
+        sizes_of_slot = np.asarray([w.batch_size for w in pool], dtype=np.int64)
+        member_sizes = sizes_of_slot[workload_index[member_positions]]
+        merged_sizes = (
+            np.add.reduceat(member_sizes, offsets[:-1])
+            if len(starts)
+            else np.zeros(0, dtype=np.int64)
+        )
+        return BatchPlan(
+            member_positions=member_positions,
+            batch_offsets=offsets,
+            ready_seconds=ready_seconds,
+            base_slot=base_slot,
+            merged_sizes=merged_sizes,
+        )
 
 
 @dataclass

@@ -1,0 +1,187 @@
+"""Chunked (array-native) offline loop ↔ per-event loop equivalence.
+
+``serve_trace_fast`` auto-selects the chunked loop for eligible offline
+replays (no fault schedule, no fair-mode batching, non-empty trace).  These
+suites pin that the selection is invisible: byte-identical
+``ClusterReport.as_dict()`` output *and* equal per-request records across
+systems, dispatch policies, shard counts, tenants and degraded-quality
+traffic — and that ineligible runs degrade gracefully to the per-event loop
+instead of diverging or crashing.
+"""
+
+import json
+
+import pytest
+from conftest import SYSTEM_NAMES, TENANTS, WORKLOAD_POOL, make_bursty_tenant_trace
+from hypothesis import given, settings, strategies as st
+
+from repro.serving import (
+    BatchScheduler,
+    DISPATCH_POLICIES,
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    OpenLoopArrivals,
+    ShardedServiceCluster,
+    SLOPolicy,
+    TenantQuota,
+    merge_traces,
+)
+from repro.serving.engine import _ChunkedServedLog, serve_trace_fast
+from repro.serving.faults import FaultSchedule
+
+
+def _render(report) -> str:
+    return json.dumps(report.as_dict(), sort_keys=True)
+
+
+def _cluster(services, name="DynPre", engine=ENGINE_FAST, **kwargs):
+    kwargs.setdefault("num_shards", 3)
+    kwargs.setdefault(
+        "scheduler", BatchScheduler(max_batch_size=4, max_wait_seconds=0.004)
+    )
+    return ShardedServiceCluster(services[name], engine=engine, **kwargs)
+
+
+def _both(make_cluster, trace, slo=None):
+    """(chunked report, per-event report), each from a fresh cluster.
+
+    Stateful systems (DynPre) mutate shard preprocessing state across a
+    serve, so the two runs must not share cluster instances."""
+    chunked = serve_trace_fast(make_cluster(), trace, slo=slo, chunked=True)
+    event = serve_trace_fast(make_cluster(), trace, slo=slo, chunked=False)
+    return chunked, event
+
+
+class TestChunkedEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        name=st.sampled_from(SYSTEM_NAMES),
+        policy=st.sampled_from(DISPATCH_POLICIES),
+        num_requests=st.integers(min_value=1, max_value=60),
+        rate_rps=st.sampled_from([50.0, 400.0, 2000.0]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        max_batch_size=st.integers(min_value=1, max_value=5),
+        max_wait_ms=st.sampled_from([0.0, 1.0, 5.0, 50.0]),
+        num_shards=st.integers(min_value=1, max_value=5),
+    )
+    def test_property_sweep(
+        self, services, name, policy, num_requests, rate_rps, seed,
+        max_batch_size, max_wait_ms, num_shards,
+    ):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=rate_rps, seed=seed).trace(
+            num_requests
+        )
+        chunked, event = _both(
+            lambda: _cluster(
+                services, name, policy=policy, num_shards=num_shards,
+                scheduler=BatchScheduler(
+                    max_batch_size=max_batch_size,
+                    max_wait_seconds=max_wait_ms * 1e-3,
+                ),
+            ),
+            trace,
+        )
+        assert _render(chunked) == _render(event)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        num_shards=st.integers(min_value=1, max_value=4),
+    )
+    def test_multi_tenant_degraded_slo_sweep(self, services, seed, num_shards):
+        """Tenants × degraded-quality traffic × per-tenant SLO overrides."""
+        full = make_bursty_tenant_trace(WORKLOAD_POOL, num_per_tenant=15, seed=seed)
+        degraded_pool = [w.degrade() for w in WORKLOAD_POOL[:2]]
+        degraded = OpenLoopArrivals(
+            degraded_pool, rate_rps=300.0, seed=seed + 1, tenant=TENANTS[0]
+        ).trace(20)
+        trace = merge_traces([full, degraded])
+        slo = SLOPolicy(
+            default_slo_seconds=0.05,
+            per_workload={"wl-m": 0.2},
+            per_tenant={"ent": TenantQuota(slo_seconds=0.1)},
+        )
+        chunked, event = _both(
+            lambda: _cluster(services, num_shards=num_shards), trace, slo=slo
+        )
+        assert _render(chunked) == _render(event)
+        assert chunked.tenant_stats == event.tenant_stats
+
+    def test_auto_mode_selects_chunked_and_matches_reference(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=500.0, seed=11).trace(40)
+        fast = _cluster(services)
+        reference = _cluster(services, engine=ENGINE_REFERENCE)
+        fast_report = fast.serve_trace(trace)
+        assert isinstance(fast_report.served, _ChunkedServedLog)
+        assert _render(fast_report) == _render(reference.serve_trace(trace))
+
+    def test_served_records_equal_not_just_summaries(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=500.0, seed=3).trace(30)
+        chunked, event = _both(lambda: _cluster(services, "StatPre"), trace)
+        assert len(chunked.served) == len(event.served)
+        assert chunked.served == event.served
+        for a, b in zip(chunked.served, event.served):
+            assert a.request is b.request
+            assert a.batching_delay == b.batching_delay
+            assert a.dispatch_delay == b.dispatch_delay
+        assert chunked.service_reports() == event.service_reports()
+
+
+class TestGracefulDegradation:
+    def test_fault_schedule_falls_back_to_per_event(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=500.0, seed=5).trace(20)
+        cluster = _cluster(services)
+        report = serve_trace_fast(cluster, trace, faults=FaultSchedule(events=()))
+        # Auto mode degraded: per-event loop, plain record list.
+        assert isinstance(report.served, list)
+        with pytest.raises(ValueError, match="fault"):
+            serve_trace_fast(
+                cluster, trace, faults=FaultSchedule(events=()), chunked=True
+            )
+
+    def test_fair_mode_falls_back_to_per_event(self, services):
+        trace = make_bursty_tenant_trace(WORKLOAD_POOL, num_per_tenant=10, seed=2)
+        cluster = _cluster(
+            services,
+            scheduler=BatchScheduler(
+                max_batch_size=4,
+                max_wait_seconds=0.004,
+                tenant_weights={"ent": 2.0, "free": 1.0},
+            ),
+        )
+        report = serve_trace_fast(cluster, trace)
+        assert isinstance(report.served, list)
+        with pytest.raises(ValueError, match="fair"):
+            serve_trace_fast(cluster, trace, chunked=True)
+
+
+class TestLazyServedLog:
+    def test_summaries_never_materialize_records(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=500.0, seed=7).trace(50)
+        cluster = _cluster(services)
+        report = serve_trace_fast(cluster, trace, chunked=True)
+        log = report.served
+        assert isinstance(log, _ChunkedServedLog)
+        report.as_dict()
+        assert report.num_requests == 50
+        assert len(log) == 50
+        assert bool(log)
+        # as_dict / len / bool read aggregates and plan arrays only.
+        assert log._records is None
+
+    def test_compact_keeps_summary_without_materializing(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=500.0, seed=7).trace(50)
+        cluster = _cluster(services)
+        report = serve_trace_fast(cluster, trace, chunked=True)
+        before = _render(report)
+        log = report.served
+        report.compact()
+        assert log._records is None
+        assert report.served == []
+        assert _render(report) == before
+
+    def test_materialized_records_are_indexable(self, services):
+        trace = OpenLoopArrivals(WORKLOAD_POOL, rate_rps=500.0, seed=7).trace(25)
+        chunked, event = _both(lambda: _cluster(services), trace)
+        assert chunked.served[0] == event.served[0]
+        assert list(chunked.served) == event.served

@@ -207,6 +207,77 @@ class TestRoundTrip:
             RequestTrace.from_jsonl(non_finite)
 
 
+class TestMergeContract:
+    """``merge_traces``: id reassignment + input validation, pinned."""
+
+    def _streams(self):
+        return [
+            BurstyArrivals(
+                GOLDEN_MIX, base_rate_rps=50.0, peak_rate_rps=400.0,
+                period_seconds=0.5, burst_fraction=0.3, phase_seconds=phase,
+                tenant=tenant, seed=seed,
+            )
+            for tenant, phase, seed in [
+                ("ent", 0.0, 1), ("free", 0.17, 2), ("pro", 0.33, 3),
+            ]
+        ]
+
+    def test_ids_reassigned_in_merged_arrival_order(self):
+        merged = merge_traces([s.trace(8) for s in self._streams()])
+        assert [r.request_id for r in merged] == list(range(len(merged)))
+        arrivals = [r.arrival_seconds for r in merged]
+        assert arrivals == sorted(arrivals)
+
+    def test_same_instant_requests_keep_input_order(self):
+        w = GOLDEN_MIX[0]
+        first = RequestTrace([InferenceRequest(0, 0.5, w, tenant="a")])
+        second = RequestTrace([InferenceRequest(0, 0.5, w, tenant="b")])
+        merged = merge_traces([first, second])
+        # Stable by input position at the tie; ids renumber over that order.
+        assert [(r.request_id, r.tenant) for r in merged] == [(0, "a"), (1, "b")]
+
+    def test_rejects_unsorted_input(self):
+        w = GOLDEN_MIX[0]
+        sorted_trace = RequestTrace([InferenceRequest(0, 0.0, w)])
+        # Every public constructor sorts, so an unsorted trace can only come
+        # from a corrupted SoA view; forge one the way a buggy capture
+        # loader would to exercise the defence.
+        unsorted = RequestTrace(
+            [InferenceRequest(0, 0.5, w), InferenceRequest(1, 1.0, w)]
+        )
+        arrays = unsorted.arrays()
+        unsorted._arrays = arrays._replace(
+            arrival_seconds=arrays.arrival_seconds[::-1].copy()
+        )
+        with pytest.raises(ValueError, match="input 1 is not sorted"):
+            merge_traces([sorted_trace, unsorted])
+
+    def test_rejects_non_finite_input(self):
+        w = GOLDEN_MIX[0]
+        bad = RequestTrace([InferenceRequest(0, float("inf"), w)])
+        with pytest.raises(ValueError, match="non-finite"):
+            merge_traces([bad])
+
+    def test_merged_multi_tenant_trace_round_trips_and_serves(self, tmp_path):
+        """The full capture path: merge → JSONL → replay → identical serve."""
+        merged = merge_traces([s.trace(8) for s in self._streams()])
+        replayed = RequestTrace.from_jsonl(merged.to_jsonl(tmp_path / "m.jsonl"))
+        assert replayed == merged
+        assert [r.request_id for r in replayed] == [r.request_id for r in merged]
+        assert sorted(replayed.tenants()) == ["ent", "free", "pro"]
+        services = build_services()
+        scheduler = BatchScheduler(max_batch_size=3, max_wait_seconds=0.004)
+
+        def report(trace):
+            cluster = ShardedServiceCluster(
+                services["StatPre"], num_shards=2, scheduler=scheduler,
+                engine="fast",
+            )
+            return json.dumps(cluster.serve_trace(trace).as_dict(), sort_keys=True)
+
+        assert report(replayed) == report(merged)
+
+
 def regenerate() -> None:
     path = _golden_trace().to_jsonl(GOLDEN_PATH)
     print(f"wrote {path}")
